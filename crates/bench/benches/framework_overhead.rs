@@ -1,0 +1,65 @@
+//! Criterion benchmarks isolating the framework's abstraction cost: raw
+//! sequential algorithm vs the same algorithm driven through `run_exact`
+//! (per-task state oracle + dispatch) and through a 1-relaxed queue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsched_core::algorithms::coloring::{greedy_coloring, ColoringTasks};
+use rsched_core::algorithms::knuth_shuffle::{
+    fisher_yates, random_targets, shuffle_priorities, ShuffleTasks,
+};
+use rsched_core::algorithms::list_contraction::{sequential_contraction, ContractionTasks};
+use rsched_core::framework::{run_exact, run_relaxed};
+use rsched_graph::{gen, ListInstance, Permutation};
+use rsched_queues::exact::BinaryHeapScheduler;
+use std::hint::black_box;
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = gen::gnm(20_000, 100_000, &mut rng);
+    let pi = Permutation::random(20_000, &mut rng);
+    let mut group = c.benchmark_group("coloring_20k_100k");
+    group.sample_size(10);
+    group.bench_function("raw_greedy", |b| b.iter(|| black_box(greedy_coloring(&g, &pi))));
+    group.bench_function("framework_exact", |b| {
+        b.iter(|| black_box(run_exact(ColoringTasks::new(&g, &pi), &pi)))
+    });
+    group.bench_function("framework_heap_queue", |b| {
+        b.iter(|| {
+            black_box(run_relaxed(ColoringTasks::new(&g, &pi), &pi, BinaryHeapScheduler::new()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_list_contraction(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let list = ListInstance::new_shuffled(50_000, &mut rng);
+    let pi = Permutation::random(50_000, &mut rng);
+    let mut group = c.benchmark_group("list_contraction_50k");
+    group.sample_size(10);
+    group.bench_function("raw_sequential", |b| {
+        b.iter(|| black_box(sequential_contraction(&list, &pi)))
+    });
+    group.bench_function("framework_exact", |b| {
+        b.iter(|| black_box(run_exact(ContractionTasks::new(&list, &pi), &pi)))
+    });
+    group.finish();
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let targets = random_targets(50_000, &mut rng);
+    let pi = shuffle_priorities(50_000);
+    let mut group = c.benchmark_group("knuth_shuffle_50k");
+    group.sample_size(10);
+    group.bench_function("raw_fisher_yates", |b| b.iter(|| black_box(fisher_yates(&targets))));
+    group.bench_function("framework_exact", |b| {
+        b.iter(|| black_box(run_exact(ShuffleTasks::new(targets.clone()), &pi)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring, bench_list_contraction, bench_shuffle);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks for end-to-end MIS: the sequential baseline vs the
+//! relaxed framework (sequential model and concurrent schedulers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsched_core::algorithms::mis::{greedy_mis, ConcurrentMis, MisTasks};
+use rsched_core::framework::{
+    fill_scheduler, run_concurrent, run_exact, run_exact_concurrent, run_relaxed,
+};
+use rsched_core::TaskId;
+use rsched_graph::{gen, CsrGraph, Permutation};
+use rsched_queues::concurrent::MultiQueue;
+use rsched_queues::relaxed::SimMultiQueue;
+use std::hint::black_box;
+
+fn instance(n: usize, m: usize, seed: u64) -> (CsrGraph, Permutation) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::gnm(n, m, &mut rng);
+    let pi = Permutation::random(n, &mut rng);
+    (g, pi)
+}
+
+fn bench_mis(c: &mut Criterion) {
+    let (g, pi) = instance(20_000, 100_000, 5);
+    let mut group = c.benchmark_group("mis_20k_nodes_100k_edges");
+    group.sample_size(10);
+
+    group.bench_function("sequential_greedy", |b| b.iter(|| black_box(greedy_mis(&g, &pi))));
+
+    group.bench_function("framework_exact", |b| {
+        b.iter(|| black_box(run_exact(MisTasks::new(&g, &pi), &pi)))
+    });
+
+    group.bench_function("framework_relaxed_simmq_k16", |b| {
+        b.iter(|| {
+            let sched = SimMultiQueue::new(16, StdRng::seed_from_u64(9));
+            black_box(run_relaxed(MisTasks::new(&g, &pi), &pi, sched))
+        })
+    });
+
+    for threads in [1usize, 2] {
+        group.bench_function(format!("concurrent_multiqueue_t{threads}"), |b| {
+            b.iter(|| {
+                let alg = ConcurrentMis::new(&g, &pi);
+                let sched: MultiQueue<TaskId> = MultiQueue::for_threads(threads);
+                fill_scheduler(&sched, &pi);
+                black_box(run_concurrent(&alg, &pi, &sched, threads));
+                black_box(alg.into_output())
+            })
+        });
+        group.bench_function(format!("concurrent_exact_faa_t{threads}"), |b| {
+            b.iter(|| {
+                let alg = ConcurrentMis::new(&g, &pi);
+                black_box(run_exact_concurrent(&alg, &pi, threads));
+                black_box(alg.into_output())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis);
+criterion_main!(benches);

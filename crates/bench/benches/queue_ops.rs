@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks: raw insert/pop throughput of every scheduler.
+//!
+//! These are the operation-level numbers behind the paper's claim that
+//! relaxed schedulers trade per-operation exactness for throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsched_queues::concurrent::{FaaArrayQueue, LockFreeMultiQueue, MultiQueue, SprayList};
+use rsched_queues::exact::{BinaryHeapScheduler, PairingHeap};
+use rsched_queues::relaxed::{SimMultiQueue, SimSprayList, TopKUniform};
+use rsched_queues::{ConcurrentScheduler, PriorityScheduler};
+use std::hint::black_box;
+
+const N: u64 = 10_000;
+
+fn drain_sequential<S: PriorityScheduler<u32>>(mut sched: S) -> u64 {
+    for p in 0..N {
+        sched.insert(p, p as u32);
+    }
+    let mut acc = 0u64;
+    while let Some((p, _)) = sched.pop() {
+        acc = acc.wrapping_add(p);
+    }
+    acc
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_fill_drain_10k");
+    group.sample_size(10);
+    group.bench_function("binary_heap", |b| {
+        b.iter(|| black_box(drain_sequential(BinaryHeapScheduler::new())))
+    });
+    group.bench_function("pairing_heap", |b| {
+        b.iter(|| black_box(drain_sequential(PairingHeap::new())))
+    });
+    group.bench_function("top_k_uniform_k16", |b| {
+        b.iter(|| black_box(drain_sequential(TopKUniform::new(16, StdRng::seed_from_u64(1)))))
+    });
+    group.bench_function("sim_multiqueue_q16", |b| {
+        b.iter(|| black_box(drain_sequential(SimMultiQueue::new(16, StdRng::seed_from_u64(1)))))
+    });
+    group.bench_function("sim_spraylist_p16", |b| {
+        b.iter(|| {
+            black_box(drain_sequential(SimSprayList::with_threads(16, StdRng::seed_from_u64(1))))
+        })
+    });
+    group.finish();
+}
+
+fn bench_concurrent_single_thread(c: &mut Criterion) {
+    // Single-threaded cost of the concurrent structures: the overhead a
+    // 1-thread Figure 2 run pays relative to the sequential baseline.
+    let mut group = c.benchmark_group("concurrent_structures_1thread_10k");
+    group.sample_size(10);
+    group.bench_function("multiqueue_q8", |b| {
+        b.iter(|| {
+            let q: MultiQueue<u32> = MultiQueue::new(8);
+            for p in 0..N {
+                q.insert(p, p as u32);
+            }
+            let mut acc = 0u64;
+            while let Some((p, _)) = q.pop() {
+                acc = acc.wrapping_add(p);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("lf_multiqueue_prefilled_q8", |b| {
+        b.iter(|| {
+            let q = LockFreeMultiQueue::prefilled(8, (0..N).map(|p| (p, p as u32)));
+            let mut acc = 0u64;
+            while let Some((p, _)) = q.pop() {
+                acc = acc.wrapping_add(p);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("spraylist_p4", |b| {
+        b.iter(|| {
+            let q: SprayList<u32> = SprayList::new(4);
+            for p in 0..N {
+                q.insert(p, p as u32);
+            }
+            let mut acc = 0u64;
+            while let Some((p, _)) = q.pop() {
+                acc = acc.wrapping_add(p);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("faa_array_queue", |b| {
+        b.iter(|| {
+            let q = FaaArrayQueue::from_sorted((0..N).map(|p| (p, p as u32)).collect());
+            let mut acc = 0u64;
+            while let Some((p, _)) = q.pop() {
+                acc = acc.wrapping_add(p);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_multiqueue_scaling(c: &mut Criterion) {
+    // Queue-count ablation: more queues = less contention, more relaxation.
+    let mut group = c.benchmark_group("multiqueue_queue_count_2threads");
+    group.sample_size(10);
+    for q_count in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(q_count), &q_count, |b, &qc| {
+            b.iter(|| {
+                let q: MultiQueue<u32> = MultiQueue::new(qc);
+                for p in 0..N {
+                    q.insert(p, p as u32);
+                }
+                std::thread::scope(|s| {
+                    for _ in 0..2 {
+                        s.spawn(|| {
+                            let mut acc = 0u64;
+                            while let Some((p, _)) = q.pop() {
+                                acc = acc.wrapping_add(p);
+                            }
+                            black_box(acc)
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential,
+    bench_concurrent_single_thread,
+    bench_multiqueue_scaling
+);
+criterion_main!(benches);

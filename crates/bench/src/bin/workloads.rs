@@ -1,0 +1,125 @@
+//! Regenerates the paper's §4 *synthetic tests* beyond Table 1: "we
+//! implemented the sequential relaxed framework … and used it to solve
+//! instances of MIS, matching, Knuth Shuffle, and List Contraction using a
+//! relaxed scheduler which uses the MultiQueue algorithm, for various
+//! relaxation factors" — plus greedy coloring for completeness.
+//!
+//! Sparse workloads (shuffle, contraction, m = O(n) graphs) should show
+//! negligible waste for `k ≪ n` (Theorem 1); MIS and matching should show
+//! `poly(k)` waste regardless of density (Theorem 2).
+//!
+//! Usage: `workloads [--n N] [--m M] [--reps R] [--ks 4,16,64] [--seed S]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsched_bench::{Args, Table};
+use rsched_core::algorithms::coloring::ColoringTasks;
+use rsched_core::algorithms::knuth_shuffle::{random_targets, shuffle_priorities, ShuffleTasks};
+use rsched_core::algorithms::list_contraction::ContractionTasks;
+use rsched_core::algorithms::matching::{MatchingInstance, MatchingTasks};
+use rsched_core::algorithms::mis::MisTasks;
+use rsched_core::framework::run_relaxed;
+use rsched_graph::{gen, ListInstance, Permutation};
+use rsched_queues::relaxed::SimMultiQueue;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("n", 30_000);
+    let m = args.get_usize("m", 100_000);
+    let reps = args.get_usize("reps", 5);
+    let ks = args.get_usize_list("ks", &[4, 8, 16, 32, 64]);
+    let seed = args.get_u64("seed", 17);
+
+    println!("§4 synthetic tests: average extra iterations over {reps} runs (n = {n}, m = {m})\n");
+
+    let mut header: Vec<String> = vec!["workload".into(), "tasks".into()];
+    header.extend(ks.iter().map(|k| format!("k={k}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+
+    let g = gen::gnm(n, m, &mut StdRng::seed_from_u64(seed));
+    let inst = MatchingInstance::new(&g);
+
+    let run_avg = |mk: &dyn Fn(usize, u64) -> u64, k: usize| -> f64 {
+        let total: u64 = (0..reps).map(|r| mk(k, seed + r as u64 * 31)).sum();
+        total as f64 / reps as f64
+    };
+
+    // MIS
+    {
+        let g = &g;
+        let f = move |k: usize, s: u64| -> u64 {
+            let pi = Permutation::random(g.num_vertices(), &mut StdRng::seed_from_u64(s));
+            let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 1));
+            run_relaxed(MisTasks::new(g, &pi), &pi, sched).1.extra_iterations()
+        };
+        let mut cells = vec!["MIS".to_string(), n.to_string()];
+        cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));
+        let refs: Vec<&dyn std::fmt::Display> =
+            cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        table.row(&refs);
+    }
+    // Matching
+    {
+        let inst = &inst;
+        let f = move |k: usize, s: u64| -> u64 {
+            let pi = Permutation::random(inst.num_edges(), &mut StdRng::seed_from_u64(s));
+            let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 2));
+            run_relaxed(MatchingTasks::new(inst, &pi), &pi, sched).1.extra_iterations()
+        };
+        let mut cells = vec!["matching".to_string(), inst.num_edges().to_string()];
+        cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));
+        let refs: Vec<&dyn std::fmt::Display> =
+            cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        table.row(&refs);
+    }
+    // Coloring
+    {
+        let g = &g;
+        let f = move |k: usize, s: u64| -> u64 {
+            let pi = Permutation::random(g.num_vertices(), &mut StdRng::seed_from_u64(s));
+            let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 3));
+            run_relaxed(ColoringTasks::new(g, &pi), &pi, sched).1.extra_iterations()
+        };
+        let mut cells = vec!["coloring".to_string(), n.to_string()];
+        cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));
+        let refs: Vec<&dyn std::fmt::Display> =
+            cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        table.row(&refs);
+    }
+    // Knuth shuffle
+    {
+        let f = move |k: usize, s: u64| -> u64 {
+            let targets = random_targets(n, &mut StdRng::seed_from_u64(s));
+            let pi = shuffle_priorities(n);
+            let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 4));
+            run_relaxed(ShuffleTasks::new(targets), &pi, sched).1.extra_iterations()
+        };
+        let mut cells = vec!["knuth-shuffle".to_string(), n.to_string()];
+        cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));
+        let refs: Vec<&dyn std::fmt::Display> =
+            cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        table.row(&refs);
+    }
+    // List contraction
+    {
+        let f = move |k: usize, s: u64| -> u64 {
+            let mut rng = StdRng::seed_from_u64(s);
+            let list = ListInstance::new_shuffled(n, &mut rng);
+            let pi = Permutation::random(n, &mut rng);
+            let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 5));
+            run_relaxed(ContractionTasks::new(&list, &pi), &pi, sched).1.extra_iterations()
+        };
+        let mut cells = vec!["list-contraction".to_string(), n.to_string()];
+        cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));
+        let refs: Vec<&dyn std::fmt::Display> =
+            cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        table.row(&refs);
+    }
+
+    println!("{table}");
+    println!("Expected: every row grows with k only and is independent of n.");
+    println!("MIS and matching waste the least — dead-marking (Theorem 2) beats even the");
+    println!("sparse-Theorem-1 workloads (shuffle, contraction), whose fixed/chain-structured");
+    println!("priorities carry larger constants.");
+}

@@ -1,0 +1,237 @@
+//! # rsched-bench — harness utilities for regenerating the paper's tables
+//! and figures.
+//!
+//! The binaries in `src/bin/` map one-to-one onto the experiment index in
+//! `DESIGN.md`:
+//!
+//! | binary           | regenerates                                   |
+//! |------------------|-----------------------------------------------|
+//! | `table1`         | Table 1 (MIS extra iterations vs `k, n, m`)    |
+//! | `figure2`        | Figure 2 (concurrent MIS time vs threads)      |
+//! | `rank_tails`     | Definition 1 validation (rank/inversion tails) |
+//! | `theorem1_sweep` | §3.1 (generic framework, incl. clique bound)   |
+//! | `theorem2_sweep` | §3.2 headline claim (MIS cost flat in `n`)     |
+//! | `workloads`      | §4 synthetic tests on all four workloads       |
+//!
+//! This library holds the shared bits: aligned table printing and a
+//! dependency-free CLI argument parser.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt::Display;
+
+/// A simple aligned-text table printer.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_bench::Table;
+///
+/// let mut t = Table::new(&["k", "extra"]);
+/// t.row(&[&4, &12.8]);
+/// t.row(&[&8, &56.8]);
+/// let s = t.to_string();
+/// assert!(s.contains("extra"));
+/// ```
+#[derive(Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; each cell is rendered with `Display`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|c| format!("{c}")).collect());
+    }
+
+    /// Renders the table with aligned columns.
+    fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cell, width = widths[c]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Minimal `--key value` / `--flag` argument parser (no external deps).
+///
+/// # Examples
+///
+/// ```
+/// use rsched_bench::Args;
+///
+/// let args = Args::parse_from(["--reps", "5", "--quick"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.get_usize("reps", 2), 5);
+/// assert!(args.has_flag("quick"));
+/// assert_eq!(args.get_u64("seed", 42), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parses the process's command-line arguments.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (used by tests).
+    pub fn parse_from<I: IntoIterator<Item = String>>(items: I) -> Self {
+        let mut pairs = Vec::new();
+        let mut iter = items.into_iter().peekable();
+        while let Some(item) = iter.next() {
+            if let Some(key) = item.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next(),
+                    _ => None,
+                };
+                pairs.push((key.to_string(), value));
+            } else {
+                eprintln!("warning: ignoring positional argument {item:?}");
+            }
+        }
+        Args { pairs }
+    }
+
+    fn lookup(&self, key: &str) -> Option<&Option<String>> {
+        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether `--key` was present (with or without a value).
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.lookup(key).is_some()
+    }
+
+    /// The value of `--key` as `usize`, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value is present but unparsable.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get_str(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// The value of `--key` as `u64`, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value is present but unparsable.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get_str(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// The raw string value of `--key`, if present.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.lookup(key).and_then(|v| v.as_deref())
+    }
+
+    /// Comma-separated list of `usize` for `--key`, or `default`.
+    pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.get_str(key) {
+            Some(s) => s
+                .split(',')
+                .map(|x| {
+                    x.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{key} expects comma-separated integers"))
+                })
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+}
+
+/// Geometric-mean helper for speedup summaries.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&[&100, &1]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_arity_checked() {
+        let mut t = Table::new(&["a"]);
+        t.row(&[&1, &2]);
+    }
+
+    #[test]
+    fn args_last_value_wins() {
+        let a = Args::parse_from(["--k", "4", "--k", "9"].iter().map(|s| s.to_string()));
+        assert_eq!(a.get_usize("k", 0), 9);
+    }
+
+    #[test]
+    fn args_lists() {
+        let a = Args::parse_from(["--ks", "4, 8,16"].iter().map(|s| s.to_string()));
+        assert_eq!(a.get_usize_list("ks", &[1]), vec![4, 8, 16]);
+        assert_eq!(a.get_usize_list("other", &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,325 @@
+//! List contraction (§2.3): iteratively splice elements out of a doubly
+//! linked list in priority order.
+//!
+//! The output we record — each element's `(prev, next)` at the moment it is
+//! contracted — is exactly what downstream uses (cycle counting, tree
+//! contraction) consume, and it is uniquely determined by the priority
+//! permutation: an element's recorded neighbors are its nearest original
+//! neighbors with *larger* labels. The paper's predecessor query "checks
+//! whether either v.next or v.prev is an unprocessed predecessor", i.e.
+//! readiness is on the *current* links; that is what makes concurrent
+//! splices race-free (two adjacent elements are never both ready).
+
+use crate::framework::{ConcurrentAlgorithm, IterativeAlgorithm, TaskOutcome, TaskState};
+use crate::TaskId;
+use rsched_graph::list::NIL;
+use rsched_graph::{ListInstance, Permutation};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+
+/// The sequential contraction for priority order `pi`: returns, per element,
+/// its `(prev, next)` at contraction time ([`NIL`] for list ends).
+///
+/// # Panics
+///
+/// Panics if `pi.len() != list.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_core::algorithms::list_contraction::sequential_contraction;
+/// use rsched_graph::{ListInstance, list::NIL, Permutation};
+///
+/// let list = ListInstance::new_identity(3); // 0 ↔ 1 ↔ 2
+/// let rec = sequential_contraction(&list, &Permutation::identity(3));
+/// assert_eq!(rec[0], (NIL, 1));
+/// assert_eq!(rec[1], (NIL, 2)); // 0 already gone
+/// assert_eq!(rec[2], (NIL, NIL));
+/// ```
+pub fn sequential_contraction(list: &ListInstance, pi: &Permutation) -> Vec<(u32, u32)> {
+    let n = list.len();
+    assert_eq!(n, pi.len(), "permutation size must match list length");
+    let mut prev = list.pred_slice().to_vec();
+    let mut next = list.succ_slice().to_vec();
+    let mut out = vec![(NIL, NIL); n];
+    for pos in 0..n as u32 {
+        let v = pi.task_at(pos) as usize;
+        let (p, nx) = (prev[v], next[v]);
+        out[v] = (p, nx);
+        if p != NIL {
+            next[p as usize] = nx;
+        }
+        if nx != NIL {
+            prev[nx as usize] = p;
+        }
+    }
+    out
+}
+
+/// List contraction as a framework instance.
+#[derive(Debug)]
+pub struct ContractionTasks<'a> {
+    pi: &'a Permutation,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    out: Vec<(u32, u32)>,
+}
+
+impl<'a> ContractionTasks<'a> {
+    /// Creates the instance from the list arrangement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != list.len()`.
+    pub fn new(list: &ListInstance, pi: &'a Permutation) -> Self {
+        assert_eq!(list.len(), pi.len(), "permutation size must match list length");
+        ContractionTasks {
+            pi,
+            prev: list.pred_slice().to_vec(),
+            next: list.succ_slice().to_vec(),
+            out: vec![(NIL, NIL); list.len()],
+        }
+    }
+}
+
+impl IterativeAlgorithm for ContractionTasks<'_> {
+    type Output = Vec<(u32, u32)>;
+
+    fn num_tasks(&self) -> usize {
+        self.out.len()
+    }
+
+    fn state(&self, task: TaskId) -> TaskState {
+        // Current-link predecessor query, exactly as the paper specifies.
+        // Sequentially, current neighbors are always unprocessed, so a
+        // smaller-labeled current neighbor means "blocked".
+        let p = self.prev[task as usize];
+        if p != NIL && self.pi.precedes(p, task) {
+            return TaskState::Blocked;
+        }
+        let nx = self.next[task as usize];
+        if nx != NIL && self.pi.precedes(nx, task) {
+            return TaskState::Blocked;
+        }
+        TaskState::Ready
+    }
+
+    fn execute(&mut self, task: TaskId) {
+        let v = task as usize;
+        let (p, nx) = (self.prev[v], self.next[v]);
+        self.out[v] = (p, nx);
+        if p != NIL {
+            self.next[p as usize] = nx;
+        }
+        if nx != NIL {
+            self.prev[nx as usize] = p;
+        }
+    }
+
+    fn into_output(self) -> Vec<(u32, u32)> {
+        self.out
+    }
+}
+
+/// Thread-safe list contraction.
+///
+/// Protocol: a splice writes both neighbor links **before** releasing its
+/// `done` flag; a reader that sees a `done` neighbor re-reads its own link
+/// (the Release/Acquire pair guarantees the re-read observes the splice).
+/// Two current-adjacent elements are never simultaneously ready (the
+/// smaller-labeled one blocks the other), so the link cells written by
+/// concurrent splices are disjoint.
+#[derive(Debug)]
+pub struct ConcurrentContraction<'a> {
+    labels: &'a [u32],
+    prev: Vec<AtomicU32>,
+    next: Vec<AtomicU32>,
+    done: Vec<AtomicBool>,
+    out_prev: Vec<AtomicU32>,
+    out_next: Vec<AtomicU32>,
+    remaining: AtomicUsize,
+}
+
+impl<'a> ConcurrentContraction<'a> {
+    /// Creates the instance from the list arrangement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != list.len()`.
+    pub fn new(list: &ListInstance, pi: &'a Permutation) -> Self {
+        let n = list.len();
+        assert_eq!(n, pi.len(), "permutation size must match list length");
+        ConcurrentContraction {
+            labels: pi.labels(),
+            prev: list.pred_slice().iter().map(|&x| AtomicU32::new(x)).collect(),
+            next: list.succ_slice().iter().map(|&x| AtomicU32::new(x)).collect(),
+            done: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            out_prev: (0..n).map(|_| AtomicU32::new(NIL)).collect(),
+            out_next: (0..n).map(|_| AtomicU32::new(NIL)).collect(),
+            remaining: AtomicUsize::new(n),
+        }
+    }
+
+    /// Extracts the per-element `(prev, next)` records after the run.
+    pub fn into_output(self) -> Vec<(u32, u32)> {
+        self.out_prev
+            .into_iter()
+            .zip(self.out_next)
+            .map(|(p, n)| (p.into_inner(), n.into_inner()))
+            .collect()
+    }
+
+    /// Reads `links[v]`, chasing past concurrently spliced neighbors until a
+    /// stable (NIL or not-done) one is observed.
+    fn stable_link(&self, links: &[AtomicU32], v: usize) -> u32 {
+        loop {
+            let x = links[v].load(Ordering::Acquire);
+            if x == NIL || !self.done[x as usize].load(Ordering::Acquire) {
+                return x;
+            }
+            // x finished its splice: its pointer writes (including our
+            // links[v]) happened before its done flag, so re-reading makes
+            // progress toward an older survivor.
+        }
+    }
+}
+
+impl ConcurrentAlgorithm for ConcurrentContraction<'_> {
+    fn num_tasks(&self) -> usize {
+        self.done.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    fn try_process(&self, task: TaskId) -> TaskOutcome {
+        let v = task as usize;
+        if self.done[v].load(Ordering::Acquire) {
+            return TaskOutcome::Obsolete; // defensive; tasks pop once
+        }
+        let lv = self.labels[v];
+        let p = self.stable_link(&self.prev, v);
+        if p != NIL && self.labels[p as usize] < lv {
+            return TaskOutcome::Blocked;
+        }
+        let nx = self.stable_link(&self.next, v);
+        if nx != NIL && self.labels[nx as usize] < lv {
+            return TaskOutcome::Blocked;
+        }
+        // p and nx are stable: a larger-labeled live neighbor cannot splice
+        // while v is unprocessed (v blocks it).
+        self.out_prev[v].store(p, Ordering::Relaxed);
+        self.out_next[v].store(nx, Ordering::Relaxed);
+        if p != NIL {
+            self.next[p as usize].store(nx, Ordering::Release);
+        }
+        if nx != NIL {
+            self.prev[nx as usize].store(p, Ordering::Release);
+        }
+        self.done[v].store(true, Ordering::Release);
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
+        TaskOutcome::Processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{run_concurrent, run_exact, run_exact_concurrent, run_relaxed};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rsched_queues::concurrent::MultiQueue;
+    use rsched_queues::relaxed::{SimMultiQueue, TopKUniform};
+
+    #[test]
+    fn identity_list_identity_order() {
+        let list = ListInstance::new_identity(4);
+        let rec = sequential_contraction(&list, &Permutation::identity(4));
+        assert_eq!(rec, vec![(NIL, 1), (NIL, 2), (NIL, 3), (NIL, NIL)]);
+    }
+
+    #[test]
+    fn reverse_order_contracts_from_tail() {
+        let list = ListInstance::new_identity(3);
+        let pi = Permutation::from_order(vec![2, 1, 0]);
+        let rec = sequential_contraction(&list, &pi);
+        assert_eq!(rec, vec![(NIL, NIL), (0, NIL), (1, NIL)]);
+    }
+
+    #[test]
+    fn recorded_neighbors_are_nearest_larger_labels() {
+        // List 0↔1↔2↔3↔4 with labels [4,0,3,1,2]: order 1, 3, 4, 2, 0.
+        let list = ListInstance::new_identity(5);
+        let pi = Permutation::from_order(vec![1, 3, 4, 2, 0]);
+        let rec = sequential_contraction(&list, &pi);
+        assert_eq!(rec[1], (0, 2));
+        assert_eq!(rec[3], (2, 4));
+        assert_eq!(rec[4], (2, NIL)); // 3 already gone
+        assert_eq!(rec[2], (0, NIL));
+        assert_eq!(rec[0], (NIL, NIL));
+    }
+
+    #[test]
+    fn framework_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let list = ListInstance::new_shuffled(300, &mut rng);
+        let pi = Permutation::random(300, &mut rng);
+        let expected = sequential_contraction(&list, &pi);
+
+        let (out, stats) = run_exact(ContractionTasks::new(&list, &pi), &pi);
+        assert_eq!(out, expected);
+        assert_eq!(stats.wasted, 0);
+
+        for seed in 0..3 {
+            let (out, stats) = run_relaxed(
+                ContractionTasks::new(&list, &pi),
+                &pi,
+                TopKUniform::new(16, StdRng::seed_from_u64(seed)),
+            );
+            assert_eq!(out, expected);
+            assert_eq!(stats.processed, 300);
+            let (out, _) = run_relaxed(
+                ContractionTasks::new(&list, &pi),
+                &pi,
+                SimMultiQueue::new(8, StdRng::seed_from_u64(seed)),
+            );
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn concurrent_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let list = ListInstance::new_shuffled(500, &mut rng);
+        let pi = Permutation::random(500, &mut rng);
+        let expected = sequential_contraction(&list, &pi);
+        for threads in [1, 2, 4] {
+            let alg = ConcurrentContraction::new(&list, &pi);
+            let sched: MultiQueue<TaskId> = MultiQueue::for_threads(threads);
+            crate::framework::fill_scheduler(&sched, &pi);
+            let stats = run_concurrent(&alg, &pi, &sched, threads);
+            assert_eq!(alg.into_output(), expected, "threads={threads}");
+            assert_eq!(stats.processed, 500);
+        }
+    }
+
+    #[test]
+    fn exact_concurrent_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let list = ListInstance::new_shuffled(200, &mut rng);
+        let pi = Permutation::random(200, &mut rng);
+        let expected = sequential_contraction(&list, &pi);
+        for threads in [1, 2] {
+            let alg = ConcurrentContraction::new(&list, &pi);
+            let _ = run_exact_concurrent(&alg, &pi, threads);
+            assert_eq!(alg.into_output(), expected);
+        }
+    }
+
+    #[test]
+    fn empty_list() {
+        let list = ListInstance::new_identity(0);
+        let rec = sequential_contraction(&list, &Permutation::identity(0));
+        assert!(rec.is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! The paper's workloads as framework instances.
+//!
+//! Every module follows the same pattern: a plain sequential reference
+//! implementation (the ground truth for determinism tests), an
+//! [`crate::framework::IterativeAlgorithm`] adapter for the sequential
+//! framework, a [`crate::framework::ConcurrentAlgorithm`] adapter for the
+//! concurrent executors, and a verifier.
+
+pub mod coloring;
+pub mod explicit_dag;
+pub mod knuth_shuffle;
+pub mod list_contraction;
+pub mod matching;
+pub mod mis;
+pub mod sssp;

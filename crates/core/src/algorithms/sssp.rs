@@ -1,0 +1,282 @@
+//! Single-source shortest paths: Dijkstra and its relaxed parallelization.
+//!
+//! SSSP is the classic relaxed-scheduler application (Karp–Zhang lineage;
+//! the paper's introduction uses it as the motivating example) but it is
+//! *not* in the random-permutation class of Theorems 1–2: priorities are
+//! tentative distances, so the permutation cannot be randomized. The
+//! label-correcting formulation stays correct under any pop order — relaxed
+//! scheduling costs only re-expansions (stale pops), never correctness.
+//!
+//! Priorities pack `(distance << vertex_bits) | vertex` so keys stay unique;
+//! use heap- or MultiQueue-style schedulers here (the dense-priority model
+//! schedulers in `rsched_queues::relaxed` are not suitable — their slab is
+//! indexed by priority).
+
+use crossbeam::utils::Backoff;
+use rsched_graph::WeightedCsr;
+use rsched_queues::{ConcurrentScheduler, PriorityScheduler};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Distance value for unreachable vertices.
+pub const UNREACHABLE: u64 = u64::MAX;
+
+/// Statistics of a (sequential) relaxed SSSP run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SsspStats {
+    /// Total pops from the scheduler.
+    pub pops: u64,
+    /// Pops whose distance was already stale (the wasted work of
+    /// relaxation).
+    pub stale: u64,
+    /// Successful edge relaxations (distance improvements).
+    pub relaxations: u64,
+}
+
+fn vertex_bits(n: usize) -> u32 {
+    usize::BITS - n.next_power_of_two().leading_zeros()
+}
+
+fn pack(dist: u64, v: u32, vbits: u32) -> u64 {
+    debug_assert!(dist < (1u64 << (63 - vbits)), "distance overflows priority packing");
+    (dist << vbits) | v as u64
+}
+
+/// Exact Dijkstra: the sequential baseline.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_core::algorithms::sssp::{dijkstra, UNREACHABLE};
+/// use rsched_graph::WeightedCsr;
+///
+/// let g = WeightedCsr::from_weighted_edges(4, [(0, 1, 2), (1, 2, 2), (0, 2, 5)]);
+/// let dist = dijkstra(&g, 0);
+/// assert_eq!(dist, vec![0, 2, 4, UNREACHABLE]);
+/// ```
+pub fn dijkstra(g: &WeightedCsr, source: u32) -> Vec<u64> {
+    let (dist, _) = relaxed_sssp(
+        g,
+        source,
+        rsched_queues::exact::BinaryHeapScheduler::new(),
+    );
+    dist
+}
+
+/// Label-correcting SSSP through any sequential scheduler.
+///
+/// With an exact scheduler this is lazy-deletion Dijkstra: no vertex is ever
+/// *expanded* at a non-final distance, and the only stale pops are
+/// superseded duplicate entries (one per non-improving insert). With a
+/// relaxed scheduler, vertices may additionally be expanded at non-final
+/// distances; the result still converges to exact distances, at the cost of
+/// extra [`SsspStats::stale`] pops and re-relaxations.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn relaxed_sssp<S>(g: &WeightedCsr, source: u32, mut sched: S) -> (Vec<u64>, SsspStats)
+where
+    S: PriorityScheduler<u32>,
+{
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source vertex out of range");
+    let vbits = vertex_bits(n);
+    let mut dist = vec![UNREACHABLE; n];
+    let mut stats = SsspStats::default();
+    dist[source as usize] = 0;
+    sched.insert(pack(0, source, vbits), source);
+    while let Some((priority, v)) = sched.pop() {
+        stats.pops += 1;
+        let d = priority >> vbits;
+        if d > dist[v as usize] {
+            stats.stale += 1; // superseded entry: wasted work
+            continue;
+        }
+        for (u, w) in g.neighbors_weighted(v) {
+            let nd = d + w as u64;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                stats.relaxations += 1;
+                sched.insert(pack(nd, u, vbits), u);
+            }
+        }
+    }
+    (dist, stats)
+}
+
+/// Concurrent label-correcting SSSP over a shared relaxed scheduler.
+///
+/// Distances are CAS-min updated; termination is by an in-flight counter
+/// (queued entries plus entries being expanded), as scheduler emptiness can
+/// be transient. The result equals [`dijkstra`]'s for any scheduler and any
+/// interleaving.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `source` is out of range.
+pub fn concurrent_sssp<S>(g: &WeightedCsr, source: u32, sched: &S, threads: usize) -> Vec<u64>
+where
+    S: ConcurrentScheduler<u32>,
+{
+    let n = g.num_vertices();
+    assert!(threads >= 1, "need at least one worker");
+    assert!((source as usize) < n, "source vertex out of range");
+    let vbits = vertex_bits(n);
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(UNREACHABLE)).collect();
+    dist[source as usize].store(0, Ordering::Release);
+    // Queued + in-flight entries; workers may exit only when it hits zero.
+    let pending = AtomicI64::new(1);
+    sched.insert(pack(0, source, vbits), source);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let dist = &dist;
+            let pending = &pending;
+            s.spawn(move || {
+                let backoff = Backoff::new();
+                loop {
+                    match sched.pop() {
+                        Some((priority, v)) => {
+                            backoff.reset();
+                            let d = priority >> vbits;
+                            if d <= dist[v as usize].load(Ordering::Acquire) {
+                                for (u, w) in g.neighbors_weighted(v) {
+                                    let nd = d + w as u64;
+                                    let mut cur = dist[u as usize].load(Ordering::Acquire);
+                                    while nd < cur {
+                                        match dist[u as usize].compare_exchange_weak(
+                                            cur,
+                                            nd,
+                                            Ordering::AcqRel,
+                                            Ordering::Acquire,
+                                        ) {
+                                            Ok(_) => {
+                                                pending.fetch_add(1, Ordering::AcqRel);
+                                                sched.insert(pack(nd, u, vbits), u);
+                                                break;
+                                            }
+                                            Err(actual) => cur = actual,
+                                        }
+                                    }
+                                }
+                            }
+                            pending.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        None => {
+                            if pending.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            backoff.snooze();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    dist.into_iter().map(|d| d.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rsched_graph::gen;
+    use rsched_queues::concurrent::{LockFreeMultiQueue, MultiQueue, SprayList};
+    use rsched_queues::relaxed::SimMultiQueue;
+
+    fn random_weighted(n: usize, m: usize, seed: u64) -> WeightedCsr {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::gnm(n, m, &mut rng);
+        WeightedCsr::with_uniform_weights(&g, 1, 100, &mut rng)
+    }
+
+    #[test]
+    fn dijkstra_tiny() {
+        let g = WeightedCsr::from_weighted_edges(
+            5,
+            [(0, 1, 10), (0, 2, 3), (2, 1, 4), (1, 3, 2), (2, 3, 8)],
+        );
+        let dist = dijkstra(&g, 0);
+        assert_eq!(dist, vec![0, 7, 3, 9, UNREACHABLE]);
+    }
+
+    #[test]
+    fn exact_scheduler_stale_pops_are_only_duplicates() {
+        let g = random_weighted(200, 800, 60);
+        let (dist, stats) = relaxed_sssp(&g, 0, rsched_queues::exact::BinaryHeapScheduler::new());
+        // Lazy-deletion Dijkstra: every vertex is expanded exactly once (its
+        // first, final-distance pop); all other pops are duplicate entries.
+        let reached = dist.iter().filter(|&&d| d != UNREACHABLE).count() as u64;
+        assert_eq!(stats.pops - stats.stale, reached);
+        // Every insert is eventually popped: 1 source insert + relaxations.
+        assert_eq!(stats.pops, 1 + stats.relaxations);
+    }
+
+    #[test]
+    fn relaxed_matches_dijkstra() {
+        let g = random_weighted(300, 1500, 61);
+        let expected = dijkstra(&g, 0);
+        for seed in 0..3 {
+            let (dist, stats) = relaxed_sssp(
+                &g,
+                0,
+                SimMultiQueue::new(8, StdRng::seed_from_u64(seed)),
+            );
+            assert_eq!(dist, expected, "seed {seed}");
+            assert_eq!(stats.pops, stats.stale + (stats.pops - stats.stale));
+        }
+    }
+
+    #[test]
+    fn relaxation_costs_stale_pops_not_correctness() {
+        let g = random_weighted(400, 3000, 62);
+        let expected = dijkstra(&g, 5);
+        let (dist, stats) = relaxed_sssp(
+            &g,
+            5,
+            SimMultiQueue::new(32, StdRng::seed_from_u64(7)),
+        );
+        assert_eq!(dist, expected);
+        // A 32-queue MultiQueue on a dense instance essentially always
+        // causes some re-expansion.
+        assert!(stats.pops >= 400);
+    }
+
+    #[test]
+    fn concurrent_matches_dijkstra_all_schedulers() {
+        let g = random_weighted(300, 1200, 63);
+        let expected = dijkstra(&g, 0);
+        for threads in [1, 2, 4] {
+            let mq: MultiQueue<u32> = MultiQueue::for_threads(threads);
+            assert_eq!(concurrent_sssp(&g, 0, &mq, threads), expected, "MultiQueue t={threads}");
+        }
+        let lf: LockFreeMultiQueue<u32> = LockFreeMultiQueue::for_threads(2);
+        assert_eq!(concurrent_sssp(&g, 0, &lf, 2), expected, "LockFreeMultiQueue");
+        let spray: SprayList<u32> = SprayList::new(2);
+        assert_eq!(concurrent_sssp(&g, 0, &spray, 2), expected, "SprayList");
+    }
+
+    #[test]
+    fn disconnected_components_unreachable() {
+        let g = WeightedCsr::from_weighted_edges(4, [(0, 1, 1), (2, 3, 1)]);
+        let dist = dijkstra(&g, 0);
+        assert_eq!(dist, vec![0, 1, UNREACHABLE, UNREACHABLE]);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = WeightedCsr::from_weighted_edges(1, std::iter::empty());
+        assert_eq!(dijkstra(&g, 0), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source_panics() {
+        let g = WeightedCsr::from_weighted_edges(2, [(0, 1, 1)]);
+        let _ = dijkstra(&g, 7);
+    }
+}

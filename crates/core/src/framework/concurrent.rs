@@ -1,0 +1,98 @@
+//! The concurrent relaxed executor: worker threads share a relaxed
+//! scheduler, re-inserting blocked tasks and dropping obsolete ones.
+
+use super::{ConcurrentAlgorithm, TaskOutcome};
+use crate::stats::ConcurrentStats;
+use crate::TaskId;
+use crossbeam::utils::Backoff;
+use rsched_graph::Permutation;
+use rsched_queues::ConcurrentScheduler;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Loads every task into `sched` with its permutation label as priority.
+///
+/// Schedulers with a bulk-load constructor (e.g.
+/// `LockFreeMultiQueue::prefilled`) can be filled at construction instead;
+/// [`run_concurrent`] only requires that all `n` tasks are in the scheduler
+/// when it starts.
+pub fn fill_scheduler<S>(sched: &S, pi: &Permutation)
+where
+    S: ConcurrentScheduler<TaskId>,
+{
+    for v in 0..pi.len() as u32 {
+        sched.insert(pi.label(v) as u64, v);
+    }
+}
+
+/// Runs `alg` to completion on `threads` workers sharing `sched`.
+///
+/// Workers pop, call [`ConcurrentAlgorithm::try_process`], re-insert blocked
+/// tasks with their original priority, and spin briefly when the scheduler
+/// looks empty (a blocked task may be in another worker's hands, about to be
+/// re-inserted). Termination is by the algorithm's remaining-task counter,
+/// not scheduler emptiness — dead MIS vertices may still sit in the queue
+/// when the run completes.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `pi.len() != alg.num_tasks()`.
+pub fn run_concurrent<A, S>(alg: &A, pi: &Permutation, sched: &S, threads: usize) -> ConcurrentStats
+where
+    A: ConcurrentAlgorithm,
+    S: ConcurrentScheduler<TaskId>,
+{
+    assert!(threads >= 1, "need at least one worker");
+    assert_eq!(alg.num_tasks(), pi.len(), "permutation size must match task count");
+    let pops = AtomicU64::new(0);
+    let processed = AtomicU64::new(0);
+    let wasted = AtomicU64::new(0);
+    let obsolete = AtomicU64::new(0);
+    let empty_pops = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                // Thread-local counters; one atomic flush at exit.
+                let (mut l_pops, mut l_proc, mut l_waste, mut l_obs, mut l_empty) =
+                    (0u64, 0u64, 0u64, 0u64, 0u64);
+                let backoff = Backoff::new();
+                while alg.remaining() > 0 {
+                    match sched.pop() {
+                        Some((priority, v)) => {
+                            backoff.reset();
+                            l_pops += 1;
+                            match alg.try_process(v) {
+                                TaskOutcome::Processed => l_proc += 1,
+                                TaskOutcome::Blocked => {
+                                    l_waste += 1;
+                                    sched.insert(priority, v);
+                                }
+                                TaskOutcome::Obsolete => l_obs += 1,
+                            }
+                        }
+                        None => {
+                            l_empty += 1;
+                            backoff.snooze();
+                        }
+                    }
+                }
+                pops.fetch_add(l_pops, Ordering::Relaxed);
+                processed.fetch_add(l_proc, Ordering::Relaxed);
+                wasted.fetch_add(l_waste, Ordering::Relaxed);
+                obsolete.fetch_add(l_obs, Ordering::Relaxed);
+                empty_pops.fetch_add(l_empty, Ordering::Relaxed);
+            });
+        }
+    });
+    ConcurrentStats {
+        tasks: alg.num_tasks(),
+        threads,
+        total_pops: pops.into_inner(),
+        processed: processed.into_inner(),
+        wasted: wasted.into_inner(),
+        obsolete: obsolete.into_inner(),
+        empty_pops: empty_pops.into_inner(),
+        elapsed: start.elapsed(),
+    }
+}

@@ -1,0 +1,86 @@
+//! The scheduling framework: task-state model and executors.
+//!
+//! One loop serves both Algorithm 2 (generic) and Algorithm 4 (MIS): the
+//! difference is entirely in the algorithm's task-state oracle, which may
+//! report a task [`TaskState::Obsolete`] (Algorithm 4's dead vertices are
+//! dropped on sight instead of re-inserted). Total iterations therefore
+//! decompose exactly as in the paper: `n` first-touches plus one iteration
+//! per failed delete.
+
+mod concurrent;
+mod exact_concurrent;
+mod sequential;
+
+pub use concurrent::{fill_scheduler, run_concurrent};
+pub use exact_concurrent::run_exact_concurrent;
+pub use sequential::{run_exact, run_relaxed};
+
+use crate::TaskId;
+
+/// The scheduler-visible state of a task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskState {
+    /// No unprocessed predecessor: can be processed now.
+    Ready,
+    /// Some predecessor is unprocessed: processing now would break
+    /// determinism; the executor re-inserts (a *failed delete*).
+    Blocked,
+    /// The task's outcome is already decided (e.g. a dead MIS vertex): drop
+    /// without processing.
+    Obsolete,
+}
+
+/// A sequential iterative algorithm with explicit dependencies.
+///
+/// Implementations provide the `Process(v)` of the paper's Algorithms 2–4
+/// plus the predecessor oracle. The contract:
+///
+/// * [`IterativeAlgorithm::execute`] is only called on tasks reported
+///   [`TaskState::Ready`], each at most once.
+/// * `state` must be consistent with the priority order: with an exact
+///   scheduler, a popped task is never `Blocked`.
+pub trait IterativeAlgorithm {
+    /// The algorithm's result (e.g. the MIS membership vector).
+    type Output;
+
+    /// Number of tasks, `n`. Tasks are `0..n`.
+    fn num_tasks(&self) -> usize;
+
+    /// The current state of `task`.
+    fn state(&self, task: TaskId) -> TaskState;
+
+    /// Processes `task`. Called exactly once per non-obsolete task, only
+    /// when [`TaskState::Ready`].
+    fn execute(&mut self, task: TaskId);
+
+    /// Consumes the algorithm, returning its output.
+    fn into_output(self) -> Self::Output;
+}
+
+/// Outcome of a concurrent processing attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// The task was processed by this call.
+    Processed,
+    /// An unprocessed predecessor was observed: re-insert.
+    Blocked,
+    /// The task was already decided: drop.
+    Obsolete,
+}
+
+/// A thread-safe iterative algorithm.
+///
+/// `try_process` combines the state check and the processing step and must
+/// be linearizable: the final output must equal the sequential algorithm's
+/// for the same priority permutation, regardless of interleaving.
+pub trait ConcurrentAlgorithm: Sync {
+    /// Number of tasks, `n`.
+    fn num_tasks(&self) -> usize;
+
+    /// Tasks whose outcome is not yet decided. The executors terminate when
+    /// this reaches zero.
+    fn remaining(&self) -> usize;
+
+    /// Attempts to process `task`.
+    fn try_process(&self, task: TaskId) -> TaskOutcome;
+}

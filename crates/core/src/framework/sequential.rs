@@ -1,0 +1,167 @@
+//! Sequential executors: Algorithm 1 (exact) and Algorithms 2/4 (relaxed).
+
+use super::{IterativeAlgorithm, TaskState};
+use crate::stats::ExecutionStats;
+use crate::TaskId;
+use rsched_graph::Permutation;
+use rsched_queues::PriorityScheduler;
+
+/// Algorithm 1: processes tasks in exact permutation order with no queue at
+/// all — the optimized sequential baseline of the paper's experiments.
+///
+/// # Panics
+///
+/// Panics if `pi.len() != alg.num_tasks()`, or if a task is `Blocked` when
+/// reached (which would mean the algorithm's dependencies contradict the
+/// priority orientation).
+pub fn run_exact<A>(mut alg: A, pi: &Permutation) -> (A::Output, ExecutionStats)
+where
+    A: IterativeAlgorithm,
+{
+    let n = alg.num_tasks();
+    assert_eq!(n, pi.len(), "permutation size must match task count");
+    let mut stats = ExecutionStats::new(n);
+    for pos in 0..n as u32 {
+        let v = pi.task_at(pos);
+        stats.total_pops += 1;
+        match alg.state(v) {
+            TaskState::Ready => {
+                alg.execute(v);
+                stats.processed += 1;
+            }
+            TaskState::Obsolete => stats.obsolete += 1,
+            TaskState::Blocked => unreachable!(
+                "task {v} blocked in exact order: dependency orientation violates priorities"
+            ),
+        }
+    }
+    (alg.into_output(), stats)
+}
+
+/// Algorithms 2 and 4: the relaxed scheduling framework.
+///
+/// Loads every task into `sched` with its permutation label as priority,
+/// then repeatedly pops: `Ready` tasks are processed, `Blocked` tasks are
+/// re-inserted with the same priority (a failed delete), `Obsolete` tasks
+/// are dropped. The output is identical to [`run_exact`] for the same `pi`
+/// irrespective of the scheduler's relaxation — that is the paper's central
+/// determinism claim, and the test suite checks it for every algorithm and
+/// scheduler combination.
+///
+/// # Panics
+///
+/// Panics if `pi.len() != alg.num_tasks()`.
+pub fn run_relaxed<A, S>(mut alg: A, pi: &Permutation, mut sched: S) -> (A::Output, ExecutionStats)
+where
+    A: IterativeAlgorithm,
+    S: PriorityScheduler<TaskId>,
+{
+    let n = alg.num_tasks();
+    assert_eq!(n, pi.len(), "permutation size must match task count");
+    for v in 0..n as u32 {
+        sched.insert(pi.label(v) as u64, v);
+    }
+    let mut stats = ExecutionStats::new(n);
+    while let Some((priority, v)) = sched.pop() {
+        stats.total_pops += 1;
+        match alg.state(v) {
+            TaskState::Ready => {
+                alg.execute(v);
+                stats.processed += 1;
+            }
+            TaskState::Blocked => {
+                stats.wasted += 1;
+                sched.insert(priority, v); // failed delete; re-insert
+            }
+            TaskState::Obsolete => stats.obsolete += 1,
+        }
+    }
+    (alg.into_output(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::TaskState;
+    use rsched_queues::exact::BinaryHeapScheduler;
+    use rsched_queues::relaxed::TopKUniform;
+
+    /// A toy chain algorithm: task i depends on task i-1 in *label* order.
+    struct Chain<'p> {
+        pi: &'p Permutation,
+        done: Vec<bool>,
+        log: Vec<TaskId>,
+    }
+
+    impl<'p> Chain<'p> {
+        fn new(pi: &'p Permutation) -> Self {
+            Chain { pi, done: vec![false; pi.len()], log: Vec::new() }
+        }
+    }
+
+    impl IterativeAlgorithm for Chain<'_> {
+        type Output = Vec<TaskId>;
+        fn num_tasks(&self) -> usize {
+            self.done.len()
+        }
+        fn state(&self, task: TaskId) -> TaskState {
+            let pos = self.pi.label(task);
+            if pos == 0 || self.done[self.pi.task_at(pos - 1) as usize] {
+                TaskState::Ready
+            } else {
+                TaskState::Blocked
+            }
+        }
+        fn execute(&mut self, task: TaskId) {
+            self.done[task as usize] = true;
+            self.log.push(task);
+        }
+        fn into_output(self) -> Vec<TaskId> {
+            self.log
+        }
+    }
+
+    #[test]
+    fn exact_runs_n_iterations() {
+        let pi = Permutation::from_order(vec![2, 0, 1]);
+        let (log, stats) = run_exact(Chain::new(&pi), &pi);
+        assert_eq!(log, vec![2, 0, 1]);
+        assert_eq!(stats.total_pops, 3);
+        assert_eq!(stats.wasted, 0);
+        assert_eq!(stats.extra_iterations(), 0);
+    }
+
+    #[test]
+    fn relaxed_chain_is_deterministic_and_counts_waste() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let pi = Permutation::random(50, &mut StdRng::seed_from_u64(4));
+        let (exact_log, _) = run_exact(Chain::new(&pi), &pi);
+        for seed in 0..5 {
+            let sched = TopKUniform::new(8, StdRng::seed_from_u64(seed));
+            let (log, stats) = run_relaxed(Chain::new(&pi), &pi, sched);
+            // A full chain forces processing in exact label order.
+            assert_eq!(log, exact_log);
+            assert_eq!(stats.processed, 50);
+            assert_eq!(stats.total_pops, 50 + stats.wasted);
+        }
+    }
+
+    #[test]
+    fn relaxed_with_exact_queue_matches_exact() {
+        let pi = Permutation::from_order(vec![1, 0, 3, 2]);
+        let (log_a, stats_a) = run_exact(Chain::new(&pi), &pi);
+        let (log_b, stats_b) = run_relaxed(Chain::new(&pi), &pi, BinaryHeapScheduler::new());
+        assert_eq!(log_a, log_b);
+        assert_eq!(stats_b.wasted, 0);
+        assert_eq!(stats_a.total_pops, stats_b.total_pops);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn size_mismatch_panics() {
+        let pi = Permutation::identity(3);
+        let pi_small = Permutation::identity(2);
+        let alg = Chain::new(&pi);
+        let _ = run_exact(alg, &pi_small);
+    }
+}

@@ -1,0 +1,57 @@
+//! # rsched-core — the relaxed scheduling framework
+//!
+//! The paper's contribution: execute *iterative algorithms with explicit
+//! dependencies* through a relaxed priority scheduler while producing exactly
+//! the output of the sequential algorithm.
+//!
+//! The moving parts:
+//!
+//! * [`framework`] — the executors. [`framework::run_exact`] is Algorithm 1
+//!   (the optimized sequential baseline), [`framework::run_relaxed`] is the
+//!   unified Algorithm 2/4 loop (pop, re-insert on unprocessed predecessor,
+//!   drop obsolete tasks), and [`framework::run_concurrent`] /
+//!   [`framework::run_exact_concurrent`] are the shared-memory versions the
+//!   paper's §4 evaluates.
+//! * [`algorithms`] — the paper's workloads as framework instances: greedy
+//!   MIS (Algorithm 4), greedy maximal matching (direct and via line graph),
+//!   greedy vertex coloring (Algorithm 3), list contraction, Knuth shuffle,
+//!   and SSSP. Each has a plain sequential reference, a framework adapter,
+//!   a concurrent adapter, and a verifier.
+//! * [`stats`] — the paper's cost measure: total pops split into processed /
+//!   wasted (failed deletes) / obsolete.
+//! * [`theory`] — the bound shapes of Theorems 1–2 for predicted-vs-measured
+//!   reporting.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsched_core::algorithms::mis::{greedy_mis, MisTasks};
+//! use rsched_core::framework::run_relaxed;
+//! use rsched_graph::{gen, Permutation};
+//! use rsched_queues::relaxed::SimMultiQueue;
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let g = gen::gnm(500, 2_000, &mut rng);
+//! let pi = Permutation::random(g.num_vertices(), &mut rng);
+//!
+//! let sched = SimMultiQueue::new(8, StdRng::seed_from_u64(2));
+//! let (mis, stats) = run_relaxed(MisTasks::new(&g, &pi), &pi, sched);
+//!
+//! assert_eq!(mis, greedy_mis(&g, &pi));           // deterministic output
+//! assert_eq!(stats.processed + stats.obsolete, 500); // every task decided once
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algorithms;
+pub mod framework;
+pub mod stats;
+pub mod theory;
+
+/// Dense task identifier: tasks are `0..n`.
+pub type TaskId = u32;
+
+/// Sentinel for "no task" in link arrays.
+pub const NIL: TaskId = u32::MAX;

@@ -1,0 +1,188 @@
+//! Erdős–Rényi generators: `G(n, p)` and `G(n, m)`.
+
+use crate::CsrGraph;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Samples `G(n, p)`: every unordered pair is an edge independently with
+/// probability `p`.
+///
+/// Uses the Batagelj–Brandes skip-sampling algorithm, so the running time is
+/// `O(n + m)` rather than `O(n²)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` or is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_graph::gen::gnp;
+/// use rand::{SeedableRng, rngs::StdRng};
+///
+/// let g = gnp(100, 0.05, &mut StdRng::seed_from_u64(1));
+/// assert_eq!(g.num_vertices(), 100);
+/// ```
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p = {p} must be in [0, 1]");
+    if n == 0 || p == 0.0 {
+        return CsrGraph::empty(n);
+    }
+    if p >= 1.0 {
+        return super::complete(n);
+    }
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let log_q = (1.0 - p).ln();
+    // Walk the pairs (w, v) with w < v in row-major order, jumping a
+    // geometrically distributed number of non-edges each step.
+    let mut v: u64 = 1;
+    let mut w: i64 = -1;
+    while (v as usize) < n {
+        let r: f64 = rng.gen::<f64>(); // in [0, 1)
+        let skip = ((1.0 - r).ln() / log_q).floor() as i64;
+        w += 1 + skip;
+        while w >= v as i64 && (v as usize) < n {
+            w -= v as i64;
+            v += 1;
+        }
+        if (v as usize) < n {
+            edges.push((w as u32, v as u32));
+        }
+    }
+    // Skip sampling emits pairs sorted by (v, w); normalize to (min, max) and
+    // re-sort for the fast CSR path.
+    edges.sort_unstable();
+    CsrGraph::from_normalized(n, &edges)
+}
+
+/// Samples `G(n, m)`: a graph drawn uniformly among all graphs with exactly
+/// `n` vertices and `m` distinct edges.
+///
+/// This is the model Table 1 of the paper sweeps (`n ∈ {10³, 10⁴}`,
+/// `m ∈ {10⁴, 3·10⁴, 10⁵}`).
+///
+/// # Panics
+///
+/// Panics if `m` exceeds `n·(n−1)/2`.
+pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    let total: u64 = n as u64 * (n as u64 - if n == 0 { 0 } else { 1 }) / 2;
+    assert!(
+        (m as u64) <= total,
+        "m = {m} exceeds the {total} possible edges on {n} vertices"
+    );
+    if m == 0 {
+        return CsrGraph::empty(n);
+    }
+    // Rejection-sample distinct pairs. For m within half the total the
+    // expected number of retries is < 2x; denser requests go through the
+    // complement.
+    if (m as u64) * 2 > total {
+        return dense_gnm(n, m, total, rng);
+    }
+    let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m);
+    while edges.len() < m {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        let key = (u as u64) * n as u64 + v as u64;
+        if seen.insert(key) {
+            edges.push((u, v));
+        }
+    }
+    edges.sort_unstable();
+    CsrGraph::from_normalized(n, &edges)
+}
+
+/// `G(n, m)` for `m > total/2`: sample the complement instead.
+fn dense_gnm<R: Rng>(n: usize, m: usize, total: u64, rng: &mut R) -> CsrGraph {
+    let holes = (total - m as u64) as usize;
+    let mut excluded: HashSet<u64> = HashSet::with_capacity(holes * 2);
+    while excluded.len() < holes {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        excluded.insert((u as u64) * n as u64 + v as u64);
+    }
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if !excluded.contains(&((u as u64) * n as u64 + v as u64)) {
+                edges.push((u, v));
+            }
+        }
+    }
+    CsrGraph::from_normalized(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(n, m) in &[(10usize, 0usize), (10, 45), (100, 500), (1000, 1)] {
+            let g = gnm(n, m, &mut rng);
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.num_edges(), m, "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn gnm_dense_path() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // 40 of 45 possible edges on 10 vertices: exercises the complement path.
+        let g = gnm(10, 40, &mut rng);
+        assert_eq!(g.num_edges(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_too_many_edges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(gnp(20, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(gnp(20, 1.0, &mut rng).num_edges(), 190);
+        assert_eq!(gnp(0, 0.5, &mut rng).num_vertices(), 0);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 2000;
+        let p = 0.01;
+        let g = gnp(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let m = g.num_edges() as f64;
+        // 5 sigma of a binomial with ~20k trials-worth of variance.
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (m - expected).abs() < 5.0 * sigma,
+            "m = {m}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = gnm(100, 300, &mut StdRng::seed_from_u64(3));
+        let b = gnm(100, 300, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        let c = gnp(100, 0.1, &mut StdRng::seed_from_u64(3));
+        let d = gnp(100, 0.1, &mut StdRng::seed_from_u64(3));
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,16 @@
+//! Random and structured graph generators.
+//!
+//! The paper evaluates on Erdős–Rényi graphs ([`gnp`], [`gnm`]); the
+//! structured and power-law families here back the wider test suite and the
+//! ablation benches (e.g. the clique worst case of Theorem 1 uses
+//! [`complete`]).
+
+mod er;
+mod powerlaw;
+mod regular;
+mod structured;
+
+pub use er::{gnm, gnp};
+pub use powerlaw::{barabasi_albert, rmat};
+pub use regular::near_regular;
+pub use structured::{complete, complete_bipartite, cycle, empty, grid2d, path, star};

@@ -1,0 +1,135 @@
+//! Skewed-degree generators: preferential attachment and R-MAT.
+//!
+//! The paper's experiments use `G(n, p)`; these families stress the
+//! schedulers with heavy-tailed degree distributions in the wider test
+//! suite and the ablation benches.
+
+use crate::CsrGraph;
+use rand::Rng;
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `attach + 1` vertices, then each new vertex attaches to `attach` existing
+/// vertices chosen proportionally to their degree.
+///
+/// # Panics
+///
+/// Panics if `attach == 0` or `n < attach + 1`.
+pub fn barabasi_albert<R: Rng>(n: usize, attach: usize, rng: &mut R) -> CsrGraph {
+    assert!(attach > 0, "attach must be positive");
+    assert!(n >= attach + 1, "need at least attach + 1 = {} vertices", attach + 1);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * attach);
+    // `endpoints` holds one entry per half-edge: sampling uniformly from it
+    // is sampling proportionally to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * attach);
+    for u in 0..attach as u32 + 1 {
+        for v in (u + 1)..attach as u32 + 1 {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (attach + 1)..n {
+        let v = v as u32;
+        let mut chosen: Vec<u32> = Vec::with_capacity(attach);
+        while chosen.len() < attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((t, v));
+            endpoints.push(t);
+            endpoints.push(v);
+        }
+    }
+    CsrGraph::from_edges(n, edges)
+}
+
+/// R-MAT generator: `2^scale` vertices, `edge_count` recursive-quadrant edge
+/// samples with quadrant probabilities `(a, b, c, d)`. Duplicates and
+/// self-loops are dropped, so the result has *at most* `edge_count` edges.
+///
+/// # Panics
+///
+/// Panics if the probabilities are negative or do not sum to ≈ 1.
+pub fn rmat<R: Rng>(
+    scale: u32,
+    edge_count: usize,
+    (a, b, c, d): (f64, f64, f64, f64),
+    rng: &mut R,
+) -> CsrGraph {
+    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0, "negative quadrant probability");
+    assert!(((a + b + c + d) - 1.0).abs() < 1e-9, "probabilities must sum to 1");
+    let n = 1usize << scale;
+    let mut edges = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left: nothing to add
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push((u, v));
+    }
+    CsrGraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ba_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200;
+        let attach = 3;
+        let g = barabasi_albert(n, attach, &mut rng);
+        assert_eq!(g.num_vertices(), n);
+        // clique + attach per later vertex (all edges distinct by construction)
+        let expected = attach * (attach + 1) / 2 + (n - attach - 1) * attach;
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn ba_has_skewed_degrees() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(500, 2, &mut rng);
+        assert!(g.max_degree() > 4 * g.avg_degree() as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "attach must be positive")]
+    fn ba_zero_attach() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = barabasi_albert(10, 0, &mut rng);
+    }
+
+    #[test]
+    fn rmat_basic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = rmat(8, 1000, (0.57, 0.19, 0.19, 0.05), &mut rng);
+        assert_eq!(g.num_vertices(), 256);
+        assert!(g.num_edges() <= 1000);
+        assert!(g.num_edges() > 500); // most samples survive dedup at this density
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_bad_probabilities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = rmat(4, 10, (0.5, 0.5, 0.5, 0.5), &mut rng);
+    }
+}

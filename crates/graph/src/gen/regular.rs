@@ -1,0 +1,66 @@
+//! Near-regular random graphs via the configuration model.
+
+use crate::CsrGraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples a *near*-`d`-regular graph on `n` vertices with the configuration
+/// model: `d` stubs per vertex are shuffled and paired; self-loops and
+/// duplicate pairs are dropped, so a few vertices may end up with degree
+/// slightly below `d`.
+///
+/// The expected number of dropped pairs is `O(d²)`, independent of `n`, so
+/// for `d ≪ √n` the graph is regular up to a vanishing fraction of edges —
+/// sufficient for the scheduler experiments, which only need controlled,
+/// homogeneous degrees. (Exact uniform d-regular sampling would require
+/// rejection over the whole pairing and is not needed here.)
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd or `d >= n`.
+pub fn near_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> CsrGraph {
+    assert!(n * d % 2 == 0, "n * d must be even to pair stubs");
+    assert!(d < n, "degree must be < n");
+    let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
+    for v in 0..n as u32 {
+        for _ in 0..d {
+            stubs.push(v);
+        }
+    }
+    stubs.shuffle(rng);
+    let edges = stubs.chunks_exact(2).map(|c| (c[0], c[1]));
+    CsrGraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degrees_close_to_target() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (n, d) = (1000, 6);
+        let g = near_regular(n, d, &mut rng);
+        assert_eq!(g.num_vertices(), n);
+        assert!(g.vertices().all(|v| g.degree(v) <= d));
+        // At most O(d^2) pairs dropped in expectation; allow generous slack.
+        assert!(g.num_edges() >= n * d / 2 - 10 * d * d);
+        assert!((g.avg_degree() - d as f64).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_stub_count_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = near_regular(3, 3, &mut rng);
+    }
+
+    #[test]
+    fn zero_degree() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = near_regular(5, 0, &mut rng);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

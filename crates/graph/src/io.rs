@@ -1,0 +1,211 @@
+//! Graph persistence: a human-readable edge-list text format and a compact
+//! binary format, so experiment inputs can be cached across harness runs.
+
+use crate::CsrGraph;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+/// Magic prefix of the binary graph format.
+const MAGIC: &[u8; 4] = b"RSG1";
+
+/// Error produced when reading a graph fails.
+#[derive(Debug)]
+pub enum ReadGraphError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The payload was malformed; the string names the problem.
+    Parse(String),
+}
+
+impl fmt::Display for ReadGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadGraphError::Io(e) => write!(f, "i/o error reading graph: {e}"),
+            ReadGraphError::Parse(msg) => write!(f, "malformed graph data: {msg}"),
+        }
+    }
+}
+
+impl Error for ReadGraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadGraphError::Io(e) => Some(e),
+            ReadGraphError::Parse(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadGraphError {
+    fn from(e: io::Error) -> Self {
+        ReadGraphError::Io(e)
+    }
+}
+
+/// Writes `g` as text: a `n m` header line then one `u v` line per edge.
+///
+/// # Errors
+///
+/// Propagates any error from the writer.
+pub fn write_text<W: Write>(g: &CsrGraph, mut w: W) -> io::Result<()> {
+    writeln!(w, "{} {}", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Reads the text format produced by [`write_text`].
+///
+/// # Errors
+///
+/// Returns [`ReadGraphError::Parse`] on malformed headers or edge lines and
+/// [`ReadGraphError::Io`] on reader failures.
+pub fn read_text<R: BufRead>(r: R) -> Result<CsrGraph, ReadGraphError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ReadGraphError::Parse("missing header line".into()))??;
+    let mut parts = header.split_whitespace();
+    let n: usize = parse_field(parts.next(), "vertex count")?;
+    let m: usize = parse_field(parts.next(), "edge count")?;
+    let mut edges = Vec::with_capacity(m);
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let u: u32 = parse_field(parts.next(), "edge endpoint")?;
+        let v: u32 = parse_field(parts.next(), "edge endpoint")?;
+        if (u as usize) >= n || (v as usize) >= n {
+            return Err(ReadGraphError::Parse(format!(
+                "edge ({u}, {v}) out of range for n = {n}"
+            )));
+        }
+        edges.push((u, v));
+    }
+    if edges.len() != m {
+        return Err(ReadGraphError::Parse(format!(
+            "header declared {m} edges but {} were present",
+            edges.len()
+        )));
+    }
+    Ok(CsrGraph::from_edges(n, edges))
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    what: &str,
+) -> Result<T, ReadGraphError> {
+    field
+        .ok_or_else(|| ReadGraphError::Parse(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ReadGraphError::Parse(format!("unparsable {what}")))
+}
+
+/// Writes `g` in the compact binary format (`RSG1` magic, little-endian
+/// `u64` counts, then `u32` endpoint pairs).
+///
+/// # Errors
+///
+/// Propagates any error from the writer.
+pub fn write_binary<W: Write>(g: &CsrGraph, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for (u, v) in g.edges() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads the binary format produced by [`write_binary`].
+///
+/// # Errors
+///
+/// Returns [`ReadGraphError::Parse`] on a bad magic value or truncated
+/// payload and [`ReadGraphError::Io`] on reader failures.
+pub fn read_binary<R: Read>(mut r: R) -> Result<CsrGraph, ReadGraphError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadGraphError::Parse("bad magic (not an RSG1 file)".into()));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8) as usize;
+    let mut edges = Vec::with_capacity(m);
+    let mut buf4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut buf4)?;
+        let u = u32::from_le_bytes(buf4);
+        r.read_exact(&mut buf4)?;
+        let v = u32::from_le_bytes(buf4);
+        if (u as usize) >= n || (v as usize) >= n {
+            return Err(ReadGraphError::Parse(format!(
+                "edge ({u}, {v}) out of range for n = {n}"
+            )));
+        }
+        edges.push((u, v));
+    }
+    Ok(CsrGraph::from_edges(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn text_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = gen::gnm(40, 100, &mut rng);
+        let mut buf = Vec::new();
+        write_text(&g, &mut buf).unwrap();
+        let back = read_text(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = gen::gnm(64, 200, &mut rng);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOPE----"[..]).unwrap_err();
+        assert!(matches!(err, ReadGraphError::Parse(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn text_rejects_out_of_range() {
+        let err = read_text("2 1\n0 5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadGraphError::Parse(_)));
+    }
+
+    #[test]
+    fn text_rejects_wrong_count() {
+        let err = read_text("3 2\n0 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("declared"));
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = CsrGraph::empty(0);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(buf.as_slice()).unwrap().num_vertices(), 0);
+    }
+}

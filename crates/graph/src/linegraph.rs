@@ -1,0 +1,162 @@
+//! Edge incidence structures and line graphs.
+//!
+//! The paper reduces greedy maximal matching to greedy MIS on the line graph
+//! `G'` (one `G'`-vertex per `G`-edge, adjacent iff the edges share an
+//! endpoint, §2.4). [`line_graph`] materializes `G'`; [`Incidence`] is the
+//! implicit alternative the direct matching implementation uses to avoid the
+//! quadratic blowup on high-degree vertices.
+
+use crate::CsrGraph;
+
+/// Vertex → incident-edge-id index for a fixed canonical edge list.
+///
+/// Edge ids are positions in [`CsrGraph::edge_list`] (lexicographic order of
+/// `(u, v)` with `u < v`).
+///
+/// # Examples
+///
+/// ```
+/// use rsched_graph::{CsrGraph, Incidence};
+///
+/// let g = CsrGraph::from_edges(3, [(0, 1), (1, 2)]);
+/// let edges = g.edge_list();
+/// let inc = Incidence::new(g.num_vertices(), &edges);
+/// assert_eq!(inc.incident(1), &[0, 1]); // vertex 1 touches both edges
+/// ```
+#[derive(Clone, Debug)]
+pub struct Incidence {
+    offsets: Vec<usize>,
+    edge_ids: Vec<u32>,
+}
+
+impl Incidence {
+    /// Builds the incidence index for `edges` over `n` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn new(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut deg = vec![0usize; n];
+        for &(a, b) in edges {
+            assert!((a as usize) < n && (b as usize) < n, "endpoint out of range");
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut edge_ids = vec![0u32; acc];
+        for (id, &(a, b)) in edges.iter().enumerate() {
+            edge_ids[cursor[a as usize]] = id as u32;
+            cursor[a as usize] += 1;
+            edge_ids[cursor[b as usize]] = id as u32;
+            cursor[b as usize] += 1;
+        }
+        Incidence { offsets, edge_ids }
+    }
+
+    /// Ids of the edges incident to vertex `v`, in edge-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn incident(&self, v: u32) -> &[u32] {
+        &self.edge_ids[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Number of vertices indexed.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+/// Builds the line graph of `g`.
+///
+/// Returns the line graph (one vertex per edge of `g`) together with the
+/// canonical edge list of `g`, so callers can map line-graph vertices back to
+/// the original edges.
+///
+/// Time and space are `Θ(Σ_v deg(v)²)` — quadratic in the maximum degree.
+/// For high-degree graphs prefer the implicit [`Incidence`]-based matching in
+/// `rsched-core`.
+pub fn line_graph(g: &CsrGraph) -> (CsrGraph, Vec<(u32, u32)>) {
+    let edges = g.edge_list();
+    let inc = Incidence::new(g.num_vertices(), &edges);
+    let mut lg_edges: Vec<(u32, u32)> = Vec::new();
+    for v in g.vertices() {
+        let ids = inc.incident(v);
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                lg_edges.push((ids[i], ids[j]));
+            }
+        }
+    }
+    (CsrGraph::from_edges(edges.len(), lg_edges), edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn incidence_covers_each_edge_twice() {
+        let g = gen::grid2d(3, 3);
+        let edges = g.edge_list();
+        let inc = Incidence::new(g.num_vertices(), &edges);
+        let mut counts = vec![0usize; edges.len()];
+        for v in g.vertices() {
+            for &e in inc.incident(v) {
+                counts[e as usize] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn incidence_matches_endpoints() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let edges = g.edge_list();
+        let inc = Incidence::new(4, &edges);
+        for v in g.vertices() {
+            for &e in inc.incident(v) {
+                let (a, b) = edges[e as usize];
+                assert!(a == v || b == v);
+            }
+        }
+    }
+
+    #[test]
+    fn line_graph_of_path() {
+        // P4: 0-1-2-3 has 3 edges forming a path in the line graph.
+        let g = gen::path(4);
+        let (lg, edges) = line_graph(&g);
+        assert_eq!(edges.len(), 3);
+        assert_eq!(lg.num_vertices(), 3);
+        assert_eq!(lg.num_edges(), 2);
+        assert!(lg.has_edge(0, 1) && lg.has_edge(1, 2) && !lg.has_edge(0, 2));
+    }
+
+    #[test]
+    fn line_graph_of_star_is_clique() {
+        let g = gen::star(5); // 4 edges all sharing the center
+        let (lg, _) = line_graph(&g);
+        assert_eq!(lg.num_vertices(), 4);
+        assert_eq!(lg.num_edges(), 6); // K4
+    }
+
+    #[test]
+    fn line_graph_of_triangle_is_triangle() {
+        let g = gen::cycle(3);
+        let (lg, _) = line_graph(&g);
+        assert_eq!(lg.num_vertices(), 3);
+        assert_eq!(lg.num_edges(), 3);
+    }
+}

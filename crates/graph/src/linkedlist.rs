@@ -1,0 +1,183 @@
+//! Doubly-linked-list instances for the list-contraction workload (§2.3).
+
+use rand::Rng;
+
+/// Sentinel marking "no neighbor" in [`ListInstance`] links.
+pub const NIL: u32 = u32::MAX;
+
+/// An immutable description of a doubly linked list over elements `0..n`.
+///
+/// The *elements* are task ids; the *arrangement* (who links to whom) is the
+/// instance. List contraction's dependency graph has an edge between every
+/// pair of originally adjacent elements.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_graph::{ListInstance, list::NIL};
+///
+/// let l = ListInstance::from_order(vec![2, 0, 1]); // list is 2 ↔ 0 ↔ 1
+/// assert_eq!(l.head(), 2);
+/// assert_eq!(l.succ(2), 0);
+/// assert_eq!(l.pred(0), 2);
+/// assert_eq!(l.succ(1), NIL);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ListInstance {
+    succ: Vec<u32>,
+    pred: Vec<u32>,
+    head: u32,
+}
+
+impl ListInstance {
+    /// The list `0 ↔ 1 ↔ … ↔ n−1`.
+    pub fn new_identity(n: usize) -> Self {
+        Self::from_order((0..n as u32).collect())
+    }
+
+    /// A list whose arrangement is a uniformly random permutation of `0..n`.
+    pub fn new_shuffled<R: Rng>(n: usize, rng: &mut R) -> Self {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        Self::from_order(order)
+    }
+
+    /// Builds a list from the element order (front to back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..n`.
+    pub fn from_order(order: Vec<u32>) -> Self {
+        let n = order.len();
+        let mut succ = vec![NIL; n];
+        let mut pred = vec![NIL; n];
+        let mut seen = vec![false; n];
+        for &e in &order {
+            assert!((e as usize) < n, "element {} out of range", e);
+            assert!(!seen[e as usize], "element {} appears twice", e);
+            seen[e as usize] = true;
+        }
+        for w in order.windows(2) {
+            succ[w[0] as usize] = w[1];
+            pred[w[1] as usize] = w[0];
+        }
+        let head = order.first().copied().unwrap_or(NIL);
+        ListInstance { succ, pred, head }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Whether the list has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// First element, or [`NIL`] for an empty list.
+    #[inline]
+    pub fn head(&self) -> u32 {
+        self.head
+    }
+
+    /// Original successor of `e` ([`NIL`] for the last element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn succ(&self, e: u32) -> u32 {
+        self.succ[e as usize]
+    }
+
+    /// Original predecessor of `e` ([`NIL`] for the first element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn pred(&self, e: u32) -> u32 {
+        self.pred[e as usize]
+    }
+
+    /// The raw successor array (index = element).
+    #[inline]
+    pub fn succ_slice(&self) -> &[u32] {
+        &self.succ
+    }
+
+    /// The raw predecessor array (index = element).
+    #[inline]
+    pub fn pred_slice(&self) -> &[u32] {
+        &self.pred
+    }
+
+    /// Iterates elements front to back.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let out = cur;
+                cur = self.succ[cur as usize];
+                Some(out)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_links() {
+        let l = ListInstance::new_identity(4);
+        assert_eq!(l.head(), 0);
+        assert_eq!(l.succ(0), 1);
+        assert_eq!(l.pred(0), NIL);
+        assert_eq!(l.succ(3), NIL);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shuffled_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let l = ListInstance::new_shuffled(50, &mut rng);
+        let traversal: Vec<u32> = l.iter().collect();
+        assert_eq!(traversal.len(), 50);
+        let mut sorted = traversal.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50u32).collect::<Vec<_>>());
+        // pred/succ are mutual inverses.
+        for &e in &traversal {
+            let s = l.succ(e);
+            if s != NIL {
+                assert_eq!(l.pred(s), e);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_list() {
+        let l = ListInstance::new_identity(0);
+        assert!(l.is_empty());
+        assert_eq!(l.head(), NIL);
+        assert_eq!(l.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_element_rejected() {
+        let _ = ListInstance::from_order(vec![1, 1, 0]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Priority permutations: the random order `π` that drives every greedy
+//! algorithm in the paper.
+//!
+//! Following the paper's notation, `π(i) = u` means task `u` is the `i`-th in
+//! the execution order and `ℓ(u) = i` is `u`'s *label*. Labels double as
+//! scheduler priorities (smaller label = higher priority).
+
+use rand::Rng;
+use std::fmt;
+
+/// A bijection between `n` tasks and `n` positions.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_graph::Permutation;
+/// use rand::{SeedableRng, rngs::StdRng};
+///
+/// let pi = Permutation::random(5, &mut StdRng::seed_from_u64(3));
+/// for pos in 0..5u32 {
+///     assert_eq!(pi.label(pi.task_at(pos)), pos);
+/// }
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Permutation {
+    /// `order[i]` = the task at position `i` (the paper's `π(i)`).
+    order: Vec<u32>,
+    /// `label[u]` = the position of task `u` (the paper's `ℓ(u)`).
+    label: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` tasks.
+    pub fn identity(n: usize) -> Self {
+        let order: Vec<u32> = (0..n as u32).collect();
+        Permutation { label: order.clone(), order }
+    }
+
+    /// A uniformly random permutation (Fisher–Yates).
+    pub fn random<R: Rng>(n: usize, rng: &mut R) -> Self {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        // In-place Fisher–Yates; `gen_range` keeps this reproducible per seed.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        Self::from_order(order)
+    }
+
+    /// Builds a permutation from an explicit order (`order[i]` = task at
+    /// position `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..n`.
+    pub fn from_order(order: Vec<u32>) -> Self {
+        let n = order.len();
+        let mut label = vec![u32::MAX; n];
+        for (pos, &task) in order.iter().enumerate() {
+            let t = task as usize;
+            assert!(t < n, "task {} out of range (n = {})", task, n);
+            assert!(label[t] == u32::MAX, "task {} appears twice", task);
+            label[t] = pos as u32;
+        }
+        Permutation { order, label }
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the permutation is over zero tasks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The label (position / priority) of `task` — the paper's `ℓ(task)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[inline]
+    pub fn label(&self, task: u32) -> u32 {
+        self.label[task as usize]
+    }
+
+    /// The task at position `pos` — the paper's `π(pos)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    #[inline]
+    pub fn task_at(&self, pos: u32) -> u32 {
+        self.order[pos as usize]
+    }
+
+    /// The full order, `order[i]` = task at position `i`.
+    #[inline]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// The full label array, `labels()[u]` = position of task `u`.
+    #[inline]
+    pub fn labels(&self) -> &[u32] {
+        &self.label
+    }
+
+    /// `true` iff `u` precedes `v` (i.e. `u` has higher priority).
+    #[inline]
+    pub fn precedes(&self, u: u32, v: u32) -> bool {
+        self.label[u as usize] < self.label[v as usize]
+    }
+}
+
+impl fmt::Debug for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() <= 16 {
+            f.debug_tuple("Permutation").field(&self.order).finish()
+        } else {
+            f.debug_struct("Permutation").field("len", &self.len()).finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(4);
+        for i in 0..4u32 {
+            assert_eq!(p.task_at(i), i);
+            assert_eq!(p.label(i), i);
+        }
+    }
+
+    #[test]
+    fn random_is_bijection() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = Permutation::random(100, &mut rng);
+        let mut seen = vec![false; 100];
+        for pos in 0..100u32 {
+            let t = p.task_at(pos);
+            assert!(!seen[t as usize]);
+            seen[t as usize] = true;
+            assert_eq!(p.label(t), pos);
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let a = Permutation::random(50, &mut StdRng::seed_from_u64(5));
+        let b = Permutation::random(50, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_differs_across_seeds() {
+        let a = Permutation::random(50, &mut StdRng::seed_from_u64(5));
+        let b = Permutation::random(50, &mut StdRng::seed_from_u64(6));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn precedes_matches_labels() {
+        let p = Permutation::from_order(vec![2, 0, 1]);
+        assert!(p.precedes(2, 0));
+        assert!(p.precedes(0, 1));
+        assert!(!p.precedes(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_task_rejected() {
+        let _ = Permutation::from_order(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_task_rejected() {
+        let _ = Permutation::from_order(vec![0, 3]);
+    }
+
+    #[test]
+    fn empty_permutation() {
+        let p = Permutation::identity(0);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Summary statistics of graph instances, reported by the bench harness.
+
+use crate::CsrGraph;
+use std::fmt;
+
+/// Degree summary of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree (`2m / n`).
+    pub mean: f64,
+    /// Number of degree-0 vertices.
+    pub isolated: usize,
+}
+
+impl fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "deg[min={} max={} mean={:.2} isolated={}]",
+            self.min, self.max, self.mean, self.isolated
+        )
+    }
+}
+
+/// Computes [`DegreeStats`] for `g` in one pass.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0 };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0;
+    let mut isolated = 0;
+    for v in g.vertices() {
+        let d = g.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    DegreeStats { min, max, mean: g.avg_degree(), isolated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn star_stats() {
+        let s = degree_stats(&gen::star(5));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.isolated, 0);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_counted() {
+        let g = CsrGraph::from_edges(4, [(0, 1)]);
+        let s = degree_stats(&g);
+        assert_eq!(s.isolated, 2);
+        assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = degree_stats(&CsrGraph::empty(0));
+        assert_eq!(s, DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0 });
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!degree_stats(&gen::path(3)).to_string().is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Edge-weighted graphs layered on [`CsrGraph`], used by the SSSP workloads.
+
+use crate::CsrGraph;
+use rand::Rng;
+use std::fmt;
+
+/// An undirected graph with a positive integer weight per edge.
+///
+/// Weights are stored parallel to the CSR adjacency array, so
+/// `neighbors_weighted(v)` is a contiguous scan.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_graph::WeightedCsr;
+///
+/// let g = WeightedCsr::from_weighted_edges(3, [(0, 1, 5), (1, 2, 7)]);
+/// let out: Vec<_> = g.neighbors_weighted(1).collect();
+/// assert_eq!(out, vec![(0, 5), (2, 7)]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct WeightedCsr {
+    graph: CsrGraph,
+    /// Start of each vertex's half-edge range; mirrors the CSR offsets.
+    offsets: Vec<usize>,
+    /// `weights[i]` is the weight of the `i`-th half-edge.
+    weights: Vec<u32>,
+}
+
+impl WeightedCsr {
+    /// Builds a weighted graph from `(u, v, w)` triples.
+    ///
+    /// Self-loops are dropped. If the same edge appears multiple times the
+    /// smallest weight wins (so the result is well-defined regardless of
+    /// input order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_weighted_edges<I>(n: usize, triples: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32, u32)>,
+    {
+        let mut norm: Vec<(u32, u32, u32)> = triples
+            .into_iter()
+            .filter(|&(a, b, _)| a != b)
+            .map(|(a, b, w)| if a < b { (a, b, w) } else { (b, a, w) })
+            .collect();
+        norm.sort_unstable();
+        norm.dedup_by(|next, prev| (next.0, next.1) == (prev.0, prev.1));
+        let edges: Vec<(u32, u32)> = norm.iter().map(|&(a, b, _)| (a, b)).collect();
+        let graph = CsrGraph::from_normalized(n, &edges);
+        let offsets = Self::compute_offsets(&graph);
+        // Fill weights by replaying the CSR fill order (lexicographic scan of
+        // normalized edges appends to both endpoint ranges in order).
+        let mut weights = vec![0u32; 2 * edges.len()];
+        let mut cursor = offsets[..n].to_vec();
+        for &(a, b, w) in &norm {
+            weights[cursor[a as usize]] = w;
+            cursor[a as usize] += 1;
+            weights[cursor[b as usize]] = w;
+            cursor[b as usize] += 1;
+        }
+        WeightedCsr { graph, offsets, weights }
+    }
+
+    fn compute_offsets(g: &CsrGraph) -> Vec<usize> {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for v in 0..n as u32 {
+            acc += g.degree(v);
+            offsets.push(acc);
+        }
+        offsets
+    }
+
+    /// Attaches uniform random weights in `lo..=hi` to every edge of `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `lo == 0` (SSSP requires positive weights).
+    pub fn with_uniform_weights<R: Rng>(g: &CsrGraph, lo: u32, hi: u32, rng: &mut R) -> Self {
+        assert!(lo > 0, "SSSP weights must be positive");
+        assert!(lo <= hi, "empty weight range");
+        let triples: Vec<(u32, u32, u32)> = g
+            .edges()
+            .map(|(u, v)| (u, v, rng.gen_range(lo..=hi)))
+            .collect();
+        Self::from_weighted_edges(g.num_vertices(), triples)
+    }
+
+    /// The underlying unweighted graph.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Iterator over `(neighbor, weight)` pairs of `v`, neighbor-sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors_weighted(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let start = self.offsets[v as usize];
+        let ns = self.graph.neighbors(v);
+        ns.iter()
+            .copied()
+            .zip(self.weights[start..start + ns.len()].iter().copied())
+    }
+}
+
+impl fmt::Debug for WeightedCsr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WeightedCsr")
+            .field("num_vertices", &self.num_vertices())
+            .field("num_edges", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_symmetric() {
+        let g = WeightedCsr::from_weighted_edges(4, [(0, 1, 3), (2, 1, 9), (3, 0, 4)]);
+        let w01: Vec<_> = g.neighbors_weighted(0).collect();
+        assert_eq!(w01, vec![(1, 3), (3, 4)]);
+        let w1: Vec<_> = g.neighbors_weighted(1).collect();
+        assert_eq!(w1, vec![(0, 3), (2, 9)]);
+    }
+
+    #[test]
+    fn duplicate_edges_take_min_weight() {
+        let g = WeightedCsr::from_weighted_edges(2, [(0, 1, 9), (1, 0, 2), (0, 1, 5)]);
+        assert_eq!(g.num_edges(), 1);
+        let w: Vec<_> = g.neighbors_weighted(0).collect();
+        assert_eq!(w, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn uniform_weights_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = CsrGraph::from_edges(10, (0..9u32).map(|i| (i, i + 1)));
+        let g = WeightedCsr::with_uniform_weights(&base, 2, 6, &mut rng);
+        for v in 0..10 {
+            for (_, w) in g.neighbors_weighted(v) {
+                assert!((2..=6).contains(&w));
+            }
+        }
+        assert_eq!(g.num_edges(), base.num_edges());
+    }
+
+    #[test]
+    fn all_half_edges_covered() {
+        let g = WeightedCsr::from_weighted_edges(5, [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 4, 4), (4, 0, 5)]);
+        let mut count = 0;
+        for v in 0..5 {
+            count += g.neighbors_weighted(v).count();
+        }
+        assert_eq!(count, 2 * g.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let base = CsrGraph::from_edges(2, [(0, 1)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = WeightedCsr::with_uniform_weights(&base, 0, 3, &mut rng);
+    }
+}

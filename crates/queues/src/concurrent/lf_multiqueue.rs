@@ -1,0 +1,232 @@
+//! The lock-free MultiQueue: the paper's §4 scheduler construction.
+//!
+//! "We implemented a simple version of our scheduling framework, using a
+//! variant of the MultiQueue \[21\] … We use lock-free lists to maintain the
+//! individual priority queues." — this module is exactly that: a MultiQueue
+//! whose per-queue structure is a [`HarrisList`].
+
+use crate::concurrent::HarrisList;
+use crate::rng;
+use crate::ConcurrentScheduler;
+use crossbeam::utils::CachePadded;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A MultiQueue over Harris lists.
+///
+/// `pop_min` on a sorted list is `O(1)`, so pops stay cheap; runtime inserts
+/// are sorted walks, which is fine for the framework's workload where all
+/// tasks are bulk-loaded up front ([`LockFreeMultiQueue::prefilled`]) and
+/// only the `poly(k)` failed deletes re-insert.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::{ConcurrentScheduler, concurrent::LockFreeMultiQueue};
+///
+/// let q = LockFreeMultiQueue::prefilled(4, (0..10u64).map(|p| (p, p)));
+/// let (p, _) = q.pop().unwrap();
+/// assert!(p < 10);
+/// ```
+pub struct LockFreeMultiQueue<T> {
+    lists: Box<[CachePadded<HarrisList<T>>]>,
+    len: CachePadded<AtomicUsize>,
+    seq: CachePadded<AtomicU64>,
+}
+
+impl<T: Send> LockFreeMultiQueue<T> {
+    /// Creates an empty queue with `num_queues` internal lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_queues == 0`.
+    pub fn new(num_queues: usize) -> Self {
+        assert!(num_queues >= 1, "need at least one internal queue");
+        LockFreeMultiQueue {
+            lists: (0..num_queues)
+                .map(|_| CachePadded::new(HarrisList::new()))
+                .collect(),
+            len: CachePadded::new(AtomicUsize::new(0)),
+            seq: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Creates a queue sized as in the paper: four lists per thread.
+    pub fn for_threads(threads: usize) -> Self {
+        Self::new(4 * threads.max(1))
+    }
+
+    /// Bulk-loads `entries`, scattering them randomly across the internal
+    /// lists with no CAS traffic. This is how the framework loads its
+    /// initial task set.
+    pub fn prefilled<I>(num_queues: usize, entries: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, T)>,
+    {
+        assert!(num_queues >= 1, "need at least one internal queue");
+        let mut buckets: Vec<Vec<(u64, u64, T)>> = (0..num_queues).map(|_| Vec::new()).collect();
+        let mut seq = 0u64;
+        for (priority, item) in entries {
+            buckets[rng::next_index(num_queues)].push((priority, seq, item));
+            seq += 1;
+        }
+        let mut total = 0usize;
+        let lists: Box<[CachePadded<HarrisList<T>>]> = buckets
+            .into_iter()
+            .map(|mut b| {
+                b.sort_unstable_by_key(|&(p, s, _)| (p, s));
+                total += b.len();
+                CachePadded::new(HarrisList::from_sorted(b))
+            })
+            .collect();
+        LockFreeMultiQueue {
+            lists,
+            len: CachePadded::new(AtomicUsize::new(total)),
+            seq: CachePadded::new(AtomicU64::new(seq)),
+        }
+    }
+
+    /// Number of internal lists.
+    pub fn num_queues(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of elements currently stored (snapshot).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Send> ConcurrentScheduler<T> for LockFreeMultiQueue<T> {
+    fn insert(&self, priority: u64, item: T) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let i = rng::next_index(self.lists.len());
+        self.lists[i].insert(priority, seq, item);
+        self.len.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn pop(&self) -> Option<(u64, T)> {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let q = self.lists.len();
+        for _ in 0..16 {
+            let i = rng::next_index(q);
+            let j = rng::next_index(q);
+            let ki = self.lists[i].peek_min();
+            let kj = self.lists[j].peek_min();
+            let best = match (ki, kj) {
+                (Some(a), Some(b)) => {
+                    if a <= b {
+                        i
+                    } else {
+                        j
+                    }
+                }
+                (Some(_), None) => i,
+                (None, Some(_)) => j,
+                (None, None) => continue,
+            };
+            if let Some(out) = self.lists[best].pop_min() {
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                return Some(out);
+            }
+        }
+        // Fallback scan.
+        for list in self.lists.iter() {
+            if let Some(out) = list.pop_min() {
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                return Some(out);
+            }
+        }
+        None
+    }
+}
+
+impl<T> fmt::Debug for LockFreeMultiQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockFreeMultiQueue")
+            .field("num_queues", &self.lists.len())
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn prefilled_pops_everything() {
+        let q = LockFreeMultiQueue::prefilled(4, (0..1000u64).map(|p| (p, p)));
+        assert_eq!(q.len(), 1000);
+        let mut out: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(p, _)| p)).collect();
+        out.sort_unstable();
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn insert_then_pop_single_thread() {
+        let q = LockFreeMultiQueue::new(2);
+        for p in [9u64, 3, 7, 1] {
+            q.insert(p, p);
+        }
+        assert_eq!(q.len(), 4);
+        let mut out: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(p, _)| p)).collect();
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 3, 7, 9]);
+    }
+
+    #[test]
+    fn approximate_order_with_prefill() {
+        let q = LockFreeMultiQueue::prefilled(2, (0..10_000u64).map(|p| (p, ())));
+        let (p, _) = q.pop().unwrap();
+        assert!(p < 100, "first pop {p} absurd for 2 queues");
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_conserves_elements() {
+        let q = LockFreeMultiQueue::prefilled(4, (0..4_000u64).map(|p| (p, p)));
+        let popped = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let q = &q;
+                let popped = &popped;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    for i in 0..1_000u64 {
+                        if let Some((_, v)) = q.pop() {
+                            local.push(v);
+                        }
+                        if i % 10 == 0 {
+                            // Occasional re-insertions, as the framework does.
+                            q.insert(100_000 + t * 10_000 + i, 100_000 + t * 10_000 + i);
+                        }
+                    }
+                    popped.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut all = popped.into_inner().unwrap();
+        while let Some((_, v)) = q.pop() {
+            all.push(v);
+        }
+        let unique: HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len(), "an element was popped twice");
+        assert_eq!(all.len(), 4_000 + 4 * 100);
+    }
+
+    #[test]
+    fn for_threads_sizing() {
+        let q: LockFreeMultiQueue<()> = LockFreeMultiQueue::for_threads(2);
+        assert_eq!(q.num_queues(), 8);
+    }
+}

@@ -1,0 +1,7 @@
+//! Exact (1-relaxed) sequential priority queues — Algorithm 1's `Q`.
+
+mod binary_heap;
+mod pairing_heap;
+
+pub use binary_heap::BinaryHeapScheduler;
+pub use pairing_heap::PairingHeap;

@@ -1,0 +1,191 @@
+//! A pairing heap: the second exact scheduler, with `O(1)` insert and meld.
+//!
+//! Included so the exact baseline in the benches is not an artifact of
+//! `std`'s binary heap (cache behavior of the two differs markedly on large
+//! prefilled workloads).
+
+use crate::{Entry, PriorityScheduler};
+use std::fmt;
+
+struct Node<T> {
+    entry: Entry<T>,
+    children: Vec<Node<T>>,
+}
+
+/// A min pairing heap with FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::{PriorityScheduler, exact::PairingHeap};
+///
+/// let mut q = PairingHeap::new();
+/// q.insert(3, "c");
+/// q.insert(1, "a");
+/// q.insert(2, "b");
+/// assert_eq!(q.pop(), Some((1, "a")));
+/// ```
+pub struct PairingHeap<T> {
+    root: Option<Box<Node<T>>>,
+    len: usize,
+    seq: u64,
+}
+
+impl<T> Default for PairingHeap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PairingHeap<T> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        PairingHeap { root: None, len: 0, seq: 0 }
+    }
+
+    /// The current minimum `(priority, &item)` without removing it.
+    pub fn peek(&self) -> Option<(u64, &T)> {
+        self.root.as_ref().map(|n| (n.entry.priority, &n.entry.item))
+    }
+
+    fn meld(a: Box<Node<T>>, b: Box<Node<T>>) -> Box<Node<T>> {
+        let (mut parent, child) = if a.entry <= b.entry { (a, b) } else { (b, a) };
+        parent.children.push(*child);
+        parent
+    }
+
+    /// Two-pass pairing of the orphaned children after a pop.
+    fn merge_pairs(children: Vec<Node<T>>) -> Option<Box<Node<T>>> {
+        let mut paired: Vec<Box<Node<T>>> = Vec::with_capacity(children.len() / 2 + 1);
+        let mut it = children.into_iter();
+        while let Some(first) = it.next() {
+            let first = Box::new(first);
+            match it.next() {
+                Some(second) => paired.push(Self::meld(first, Box::new(second))),
+                None => paired.push(first),
+            }
+        }
+        let mut acc = paired.pop()?;
+        while let Some(next) = paired.pop() {
+            acc = Self::meld(acc, next);
+        }
+        Some(acc)
+    }
+}
+
+impl<T> PriorityScheduler<T> for PairingHeap<T> {
+    fn insert(&mut self, priority: u64, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        let node = Box::new(Node { entry: Entry::new(priority, seq, item), children: Vec::new() });
+        self.root = Some(match self.root.take() {
+            Some(root) => Self::meld(root, node),
+            None => node,
+        });
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, T)> {
+        let root = self.root.take()?;
+        self.len -= 1;
+        let Node { entry, children } = *root;
+        self.root = Self::merge_pairs(children);
+        Some((entry.priority, entry.item))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl<T> Drop for PairingHeap<T> {
+    fn drop(&mut self) {
+        // Iterative teardown: the default recursive drop of the child
+        // vectors can overflow the stack on heaps with deep meld chains.
+        let mut stack: Vec<Node<T>> = Vec::new();
+        if let Some(root) = self.root.take() {
+            stack.push(*root);
+        }
+        while let Some(mut node) = stack.pop() {
+            stack.append(&mut node.children);
+        }
+    }
+}
+
+impl<T> fmt::Debug for PairingHeap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PairingHeap").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_priority_order() {
+        let mut q = PairingHeap::new();
+        for p in [9u64, 2, 7, 1, 8, 3, 0, 6, 4, 5] {
+            q.insert(p, p);
+        }
+        let mut out = Vec::new();
+        while let Some((p, _)) = q.pop() {
+            out.push(p);
+        }
+        assert_eq!(out, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = PairingHeap::new();
+        q.insert(1, "a");
+        q.insert(1, "b");
+        q.insert(0, "z");
+        assert_eq!(q.pop().unwrap().1, "z");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn interleaving_matches_binary_heap() {
+        use crate::exact::BinaryHeapScheduler;
+        let mut a = PairingHeap::new();
+        let mut b = BinaryHeapScheduler::new();
+        let mut x = 99u64;
+        for step in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if step % 3 != 0 {
+                let p = (x >> 33) % 1000;
+                a.insert(p, step);
+                b.insert(p, step);
+            } else {
+                assert_eq!(a.pop(), b.pop());
+            }
+            assert_eq!(a.len(), b.len());
+        }
+        loop {
+            let (pa, pb) = (a.pop(), b.pop());
+            assert_eq!(pa, pb);
+            if pa.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn deep_heap_drops_without_overflow() {
+        let mut q = PairingHeap::new();
+        for p in 0..200_000u64 {
+            q.insert(p, ());
+        }
+        drop(q); // must not overflow the stack
+    }
+
+    #[test]
+    fn empty_pop() {
+        let mut q: PairingHeap<u8> = PairingHeap::new();
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek(), None);
+        assert!(q.is_empty());
+    }
+}

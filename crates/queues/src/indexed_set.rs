@@ -1,0 +1,259 @@
+//! A Fenwick-tree-backed set over a dense priority universe with
+//! select-by-rank — the workhorse of the simulated relaxed schedulers and the
+//! rank instrumentation.
+
+/// A set of `u64` priorities drawn from a dense universe `0..capacity`,
+/// supporting `O(log n)` insert, remove, rank and select.
+///
+/// The simulated relaxed schedulers need "remove the element of rank r"
+/// (e.g. *uniform over the top k*), which ordinary heaps cannot do; this
+/// structure provides it. The universe grows automatically.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::IndexedSet;
+///
+/// let mut s = IndexedSet::new();
+/// for p in [5u64, 1, 9, 3] {
+///     s.insert(p);
+/// }
+/// assert_eq!(s.select(0), Some(1)); // rank 0 = minimum
+/// assert_eq!(s.select(2), Some(5));
+/// assert_eq!(s.rank_of(9), 3);      // three elements smaller than 9
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct IndexedSet {
+    /// 1-based Fenwick tree of 0/1 counts.
+    tree: Vec<u32>,
+    /// Plain membership bitmap (fast `contains`, rebuild-free growth).
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl IndexedSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty set pre-sized for priorities `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        IndexedSet {
+            tree: vec![0; capacity + 1],
+            bits: vec![0; capacity / 64 + 1],
+            len: 0,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn capacity(&self) -> usize {
+        self.tree.len().saturating_sub(1)
+    }
+
+    fn grow_to(&mut self, capacity: usize) {
+        if capacity <= self.capacity() {
+            return;
+        }
+        let new_cap = capacity.next_power_of_two().max(64);
+        let mut tree = vec![0u32; new_cap + 1];
+        // Rebuild in O(new_cap) from the bitmap.
+        self.bits.resize(new_cap / 64 + 1, 0);
+        for p in 0..self.capacity() {
+            if self.contains(p as u64) {
+                let mut i = p + 1;
+                while i <= new_cap {
+                    tree[i] += 1;
+                    i += i & i.wrapping_neg();
+                }
+            }
+        }
+        self.tree = tree;
+    }
+
+    /// Whether `p` is in the set.
+    #[inline]
+    pub fn contains(&self, p: u64) -> bool {
+        let w = (p / 64) as usize;
+        w < self.bits.len() && (self.bits[w] >> (p % 64)) & 1 == 1
+    }
+
+    /// Inserts `p`. Returns `true` if it was newly added.
+    pub fn insert(&mut self, p: u64) -> bool {
+        if self.contains(p) {
+            return false;
+        }
+        self.grow_to(p as usize + 1);
+        self.bits[(p / 64) as usize] |= 1 << (p % 64);
+        let mut i = p as usize + 1;
+        while i < self.tree.len() {
+            self.tree[i] += 1;
+            i += i & i.wrapping_neg();
+        }
+        self.len += 1;
+        true
+    }
+
+    /// Removes `p`. Returns `true` if it was present.
+    pub fn remove(&mut self, p: u64) -> bool {
+        if !self.contains(p) {
+            return false;
+        }
+        self.bits[(p / 64) as usize] &= !(1 << (p % 64));
+        let mut i = p as usize + 1;
+        while i < self.tree.len() {
+            self.tree[i] -= 1;
+            i += i & i.wrapping_neg();
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// Number of elements strictly smaller than `p` (the 0-based rank `p`
+    /// would have).
+    pub fn rank_of(&self, p: u64) -> usize {
+        let mut i = (p as usize).min(self.capacity());
+        let mut acc = 0usize;
+        while i > 0 {
+            acc += self.tree[i] as usize;
+            i -= i & i.wrapping_neg();
+        }
+        acc
+    }
+
+    /// The element of 0-based `rank`, or `None` if `rank >= len`.
+    pub fn select(&self, rank: usize) -> Option<u64> {
+        if rank >= self.len {
+            return None;
+        }
+        let mut remaining = rank as u32 + 1;
+        let mut pos = 0usize;
+        let mut step = self.tree.len().next_power_of_two() / 2;
+        // Fenwick binary lifting: find smallest prefix holding `rank + 1`.
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] < remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            step /= 2;
+        }
+        Some(pos as u64) // prefix length pos+1 first reaches the count ⇒ element is pos
+    }
+
+    /// Removes and returns the element of 0-based `rank`, or `None`.
+    pub fn remove_by_rank(&mut self, rank: usize) -> Option<u64> {
+        let p = self.select(rank)?;
+        self.remove(p);
+        Some(p)
+    }
+
+    /// The minimum element, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        self.select(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = IndexedSet::new();
+        assert!(s.insert(10));
+        assert!(!s.insert(10));
+        assert!(s.contains(10));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(10));
+        assert!(!s.remove(10));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn select_matches_sorted_order() {
+        let mut s = IndexedSet::new();
+        let vals = [17u64, 2, 91, 44, 0, 63, 8];
+        for &v in &vals {
+            s.insert(v);
+        }
+        let mut sorted = vals.to_vec();
+        sorted.sort_unstable();
+        for (r, &v) in sorted.iter().enumerate() {
+            assert_eq!(s.select(r), Some(v));
+            assert_eq!(s.rank_of(v), r);
+        }
+        assert_eq!(s.select(vals.len()), None);
+        assert_eq!(s.min(), Some(0));
+    }
+
+    #[test]
+    fn remove_by_rank_pops_in_order() {
+        let mut s = IndexedSet::new();
+        for v in [5u64, 3, 8, 1] {
+            s.insert(v);
+        }
+        assert_eq!(s.remove_by_rank(0), Some(1));
+        assert_eq!(s.remove_by_rank(1), Some(5));
+        assert_eq!(s.remove_by_rank(0), Some(3));
+        assert_eq!(s.remove_by_rank(0), Some(8));
+        assert_eq!(s.remove_by_rank(0), None);
+    }
+
+    #[test]
+    fn growth_preserves_contents() {
+        let mut s = IndexedSet::with_capacity(4);
+        s.insert(3);
+        s.insert(1000); // forces growth
+        assert!(s.contains(3));
+        assert!(s.contains(1000));
+        assert_eq!(s.select(0), Some(3));
+        assert_eq!(s.select(1), Some(1000));
+    }
+
+    #[test]
+    fn empty_set_queries() {
+        let s = IndexedSet::new();
+        assert_eq!(s.min(), None);
+        assert_eq!(s.select(0), None);
+        assert_eq!(s.rank_of(99), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn model_check_against_btreeset() {
+        use std::collections::BTreeSet;
+        let mut s = IndexedSet::new();
+        let mut model = BTreeSet::new();
+        // Deterministic pseudo-random op sequence.
+        let mut x = 12345u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let p = (x >> 33) % 500;
+            if x & 1 == 0 {
+                assert_eq!(s.insert(p), model.insert(p));
+            } else {
+                assert_eq!(s.remove(p), model.remove(&p));
+            }
+            assert_eq!(s.len(), model.len());
+            if let Some(&min) = model.iter().next() {
+                assert_eq!(s.min(), Some(min));
+            }
+        }
+        let sorted: Vec<u64> = model.iter().copied().collect();
+        for (r, &v) in sorted.iter().enumerate() {
+            assert_eq!(s.select(r), Some(v));
+        }
+    }
+}

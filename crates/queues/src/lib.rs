@@ -1,0 +1,132 @@
+//! # rsched-queues — exact and relaxed priority schedulers
+//!
+//! The scheduler zoo of the paper, in four groups:
+//!
+//! * **Exact sequential queues** ([`exact`]): binary heap and pairing heap —
+//!   the `Q.GetMin()` of Algorithm 1.
+//! * **Relaxed sequential models** ([`relaxed`]): the canonical *top-k
+//!   uniform* scheduler from the paper's analysis, an adversarial top-k
+//!   variant, and faithful sequential simulations of the MultiQueue and the
+//!   SprayList. These drive Table 1 and the rank/fairness validation.
+//! * **Concurrent schedulers** ([`concurrent`]): the lock-based MultiQueue
+//!   \[21\], a lock-free MultiQueue over Harris lists (the paper's §4
+//!   implementation), a lock-free SprayList \[3\], and the FAA array queue
+//!   standing in for the exact wait-free scheduler \[27\].
+//! * **Instrumentation** ([`instrument`]): rank-error and priority-inversion
+//!   tracking to check Definition 1's exponential tails empirically.
+//!
+//! Priorities are `u64`; **smaller is higher priority** throughout.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsched_queues::{PriorityScheduler, relaxed::TopKUniform};
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! let mut q = TopKUniform::new(4, StdRng::seed_from_u64(1));
+//! for p in 0..10u64 {
+//!     q.insert(p, p as u32);
+//! }
+//! let (prio, item) = q.pop().expect("non-empty");
+//! assert!(prio < 4, "top-4 scheduler returned rank ≥ 4");
+//! assert_eq!(prio, item as u64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod concurrent;
+mod entry;
+pub mod exact;
+mod indexed_set;
+pub mod instrument;
+pub mod relaxed;
+pub(crate) mod rng;
+
+pub use entry::Entry;
+pub use indexed_set::IndexedSet;
+
+/// A sequential priority scheduler: the interface of the paper's `Q`.
+///
+/// `pop` is the paper's `ApproxGetMin()`: implementations may return an
+/// element of rank greater than one. The exact queues in [`exact`] are the
+/// degenerate 1-relaxed case.
+///
+/// Smaller priority values are returned first (min-queues).
+pub trait PriorityScheduler<T> {
+    /// Inserts `item` with the given priority.
+    fn insert(&mut self, priority: u64, item: T);
+
+    /// Removes and returns an element, approximately the minimum.
+    ///
+    /// Returns `None` iff the scheduler is empty.
+    fn pop(&mut self) -> Option<(u64, T)>;
+
+    /// Number of elements currently stored.
+    fn len(&self) -> usize;
+
+    /// Whether the scheduler holds no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> PriorityScheduler<T> for Box<dyn PriorityScheduler<T> + '_> {
+    fn insert(&mut self, priority: u64, item: T) {
+        (**self).insert(priority, item)
+    }
+    fn pop(&mut self) -> Option<(u64, T)> {
+        (**self).pop()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+}
+
+/// A thread-safe scheduler: shared-reference API for concurrent executors.
+///
+/// `pop` returning `None` means the scheduler was observed empty, which may
+/// be *transient* (another thread may be about to re-insert a task it is
+/// holding); executors use their own remaining-work counters for
+/// termination, as the paper's framework does.
+pub trait ConcurrentScheduler<T: Send>: Send + Sync {
+    /// Inserts `item` with the given priority.
+    fn insert(&self, priority: u64, item: T);
+
+    /// Removes and returns an element, approximately the minimum, or `None`
+    /// if the scheduler appears empty.
+    fn pop(&self) -> Option<(u64, T)>;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn is_empty_default_follows_len() {
+        struct Dummy(usize);
+        impl PriorityScheduler<()> for Dummy {
+            fn insert(&mut self, _: u64, _: ()) {
+                self.0 += 1;
+            }
+            fn pop(&mut self) -> Option<(u64, ())> {
+                if self.0 == 0 {
+                    None
+                } else {
+                    self.0 -= 1;
+                    Some((0, ()))
+                }
+            }
+            fn len(&self) -> usize {
+                self.0
+            }
+        }
+        let mut d = Dummy(0);
+        assert!(d.is_empty());
+        d.insert(1, ());
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! A tiny thread-local xorshift generator for the concurrent schedulers.
+//!
+//! The hot path of a MultiQueue pop is two random indices; pulling
+//! `rand::thread_rng` there costs a TLS handle and ChaCha rounds per call.
+//! This xorshift64* keeps queue selection cheap. It is *not* used anywhere
+//! reproducibility matters — the sequential simulation models take a caller
+//! seeded `rand::Rng`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SEED_COUNTER: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+
+thread_local! {
+    static STATE: Cell<u64> = Cell::new(fresh_seed());
+}
+
+fn fresh_seed() -> u64 {
+    // SplitMix64 step over a global counter: distinct, well-mixed per thread.
+    let mut z = SEED_COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) | 1 // xorshift state must be non-zero
+}
+
+/// Returns the next thread-local pseudo-random `u64`.
+#[inline]
+pub fn next_u64() -> u64 {
+    STATE.with(|s| {
+        let mut x = s.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    })
+}
+
+/// Returns a thread-local pseudo-random index in `0..bound`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `bound == 0`.
+#[inline]
+pub fn next_index(bound: usize) -> usize {
+    debug_assert!(bound > 0);
+    // Lemire-style multiply-shift range reduction (slight bias is irrelevant
+    // for queue selection).
+    ((next_u64() as u128 * bound as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_in_range() {
+        for bound in [1usize, 2, 3, 7, 100] {
+            for _ in 0..1000 {
+                assert!(next_index(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn values_vary() {
+        let a = next_u64();
+        let b = next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn threads_get_distinct_streams() {
+        let h = std::thread::spawn(next_u64);
+        let mine = next_u64();
+        let theirs = h.join().unwrap();
+        assert_ne!(mine, theirs);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut buckets = [0usize; 4];
+        for _ in 0..40_000 {
+            buckets[next_index(4)] += 1;
+        }
+        for &b in &buckets {
+            assert!((8_000..12_000).contains(&b), "bucket count {b} far from 10k");
+        }
+    }
+}

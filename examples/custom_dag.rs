@@ -1,0 +1,59 @@
+//! Bring-your-own algorithm: the fully generic explicit-DAG entry point
+//! (§2.2 of the paper, verbatim). Hand the framework any conflict graph, a
+//! priority permutation to orient it, and a `Process(v)` closure — the
+//! closure's view of its predecessors is scheduler-independent.
+//!
+//! Here: dependency-chain depth (the "iteration depth" the parallelism
+//! literature studies) computed over a random DAG, identical under an exact
+//! heap, a heavily relaxed scheduler, and a deterministic round-robin one.
+//!
+//! Run with: `cargo run --release --example custom_dag`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsched::core::algorithms::explicit_dag::ExplicitDagTasks;
+use rsched::core::framework::run_relaxed;
+use rsched::graph::{gen, Permutation};
+use rsched::queues::exact::BinaryHeapScheduler;
+use rsched::queues::relaxed::{RoundRobinTopK, SimMultiQueue};
+use rsched::queues::PriorityScheduler;
+use rsched::core::TaskId;
+
+fn chain_depths<S: PriorityScheduler<TaskId>>(
+    g: &rsched::graph::CsrGraph,
+    pi: &Permutation,
+    sched: S,
+) -> (Vec<u32>, u64) {
+    let mut depth = vec![0u32; g.num_vertices()];
+    let stats = {
+        let tasks = ExplicitDagTasks::new(g, pi, |v, preds| {
+            depth[v as usize] = preds.iter().map(|&u| depth[u as usize] + 1).max().unwrap_or(0);
+        });
+        run_relaxed(tasks, pi, sched).1
+    };
+    (depth, stats.extra_iterations())
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let n = 50_000;
+    let g = gen::gnm(n, 500_000, &mut rng);
+    let pi = Permutation::random(n, &mut rng);
+
+    let (exact, _) = chain_depths(&g, &pi, BinaryHeapScheduler::new());
+    let max_depth = exact.iter().max().copied().unwrap_or(0);
+    println!(
+        "random G({n}, 500k) oriented by a random permutation: dependency depth = {max_depth}"
+    );
+    println!("(the paper's premise: greedy dependency DAGs are shallow — O(log n) whp)");
+
+    let (relaxed, extra) = chain_depths(&g, &pi, SimMultiQueue::new(64, StdRng::seed_from_u64(1)));
+    assert_eq!(relaxed, exact);
+    println!("64-relaxed MultiQueue model: identical depths, {extra} extra iterations");
+
+    let (rr, extra) = chain_depths(&g, &pi, RoundRobinTopK::new(64));
+    assert_eq!(rr, exact);
+    println!("deterministic round-robin top-64: identical depths, {extra} extra iterations");
+
+    println!("\nAny DAG + any Process(v) closure runs deterministically under relaxation.");
+}

@@ -1,0 +1,39 @@
+//! Greedy vertex coloring through the relaxed framework (the paper's
+//! Algorithm 3 inside Algorithm 2), demonstrating the Theorem 1 trade-off:
+//! the wasted work scales with the dependency density `m/n` and the
+//! relaxation `k`, while the coloring itself never changes.
+//!
+//! Run with: `cargo run --release --example graph_coloring`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsched::core::algorithms::coloring::{greedy_coloring, verify_coloring, ColoringTasks};
+use rsched::core::framework::run_relaxed;
+use rsched::graph::{gen, Permutation};
+use rsched::queues::relaxed::TopKUniform;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 20_000;
+
+    for &density in &[2usize, 10, 50] {
+        let g = gen::gnm(n, density * n, &mut rng);
+        let pi = Permutation::random(n, &mut rng);
+        let expected = greedy_coloring(&g, &pi);
+        let palette = expected.iter().max().unwrap() + 1;
+
+        println!("G(n={n}, m={}): greedy palette = {palette} colors", density * n);
+        for &k in &[4usize, 16, 64] {
+            let sched = TopKUniform::new(k, StdRng::seed_from_u64(99));
+            let (colors, stats) = run_relaxed(ColoringTasks::new(&g, &pi), &pi, sched);
+            assert!(verify_coloring(&g, &colors));
+            assert_eq!(colors, expected, "coloring is deterministic under relaxation");
+            println!(
+                "  k={k:>3}: extra iterations = {:>7}  (per edge: {:.4})",
+                stats.extra_iterations(),
+                stats.extra_iterations() as f64 / (density * n) as f64
+            );
+        }
+    }
+    println!("\nNote the per-edge waste is ≈ constant for fixed k: Theorem 1's O(m/n)·poly(k).");
+}

@@ -1,0 +1,44 @@
+//! Knuth shuffle through the relaxed framework: generating a uniformly
+//! random permutation with parallel-friendly scheduling, deterministically
+//! reproducing the sequential Fisher–Yates output for the same swap targets.
+//!
+//! Run with: `cargo run --release --example knuth_shuffle`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsched::core::algorithms::knuth_shuffle::{
+    fisher_yates, random_targets, shuffle_priorities, ShuffleTasks,
+};
+use rsched::core::framework::run_relaxed;
+use rsched::queues::relaxed::SimMultiQueue;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let n = 500_000;
+
+    // The algorithm's randomness is in the swap targets H[i] ∈ [0, i]; the
+    // priority order (descending index) is fixed.
+    let targets = random_targets(n, &mut rng);
+    let pi = shuffle_priorities(n);
+    let expected = fisher_yates(&targets);
+
+    for &k in &[4usize, 32, 256] {
+        let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(8));
+        let (shuffled, stats) = run_relaxed(ShuffleTasks::new(targets.clone()), &pi, sched);
+        assert_eq!(shuffled, expected, "the shuffle is deterministic given H");
+        println!(
+            "k={k:>4}: {} extra iterations over {} swaps ({:.5}% waste)",
+            stats.extra_iterations(),
+            n,
+            100.0 * stats.extra_iterations() as f64 / n as f64
+        );
+    }
+
+    // Sanity: the output is a permutation.
+    let mut check = expected.clone();
+    check.sort_unstable();
+    assert!(check.iter().enumerate().all(|(i, &x)| i as u32 == x));
+    println!("\noutput verified to be a permutation of 0..{n}");
+    println!("dependency chains have ≤2 direct predecessors per task (m = O(n)),");
+    println!("so waste is tiny — the sparse regime of Theorem 1.");
+}

@@ -1,0 +1,148 @@
+//! The paper's central claim, tested end-to-end: for every workload and
+//! every scheduler (exact, canonical top-k, simulated MultiQueue, simulated
+//! SprayList, fully random), the framework's output is identical to the
+//! sequential algorithm's for the same priority permutation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsched::core::algorithms::coloring::{greedy_coloring, verify_coloring, ColoringTasks};
+use rsched::core::algorithms::knuth_shuffle::{
+    fisher_yates, random_targets, shuffle_priorities, ShuffleTasks,
+};
+use rsched::core::algorithms::list_contraction::{sequential_contraction, ContractionTasks};
+use rsched::core::algorithms::matching::{
+    greedy_matching, verify_matching, MatchingInstance, MatchingTasks,
+};
+use rsched::core::algorithms::mis::{greedy_mis, verify_mis, MisTasks};
+use rsched::core::framework::{run_exact, run_relaxed, IterativeAlgorithm};
+use rsched::core::TaskId;
+use rsched::graph::{gen, CsrGraph, ListInstance, Permutation};
+use rsched::queues::exact::{BinaryHeapScheduler, PairingHeap};
+use rsched::queues::relaxed::{
+    RoundRobinTopK, SimMultiQueue, SimSprayList, TopKUniform, UniformRandom,
+};
+use rsched::queues::PriorityScheduler;
+
+/// Runs `make_alg()` through every scheduler and asserts all outputs equal
+/// `expected`.
+fn assert_deterministic<A, F>(pi: &Permutation, expected: &A::Output, make_alg: F)
+where
+    A: IterativeAlgorithm,
+    A::Output: PartialEq + std::fmt::Debug,
+    F: Fn() -> A,
+{
+    let scheds: Vec<(&str, Box<dyn FnMut() -> Box<dyn PriorityScheduler<TaskId>>>)> = vec![
+        ("binary-heap", Box::new(|| Box::new(BinaryHeapScheduler::new()))),
+        ("pairing-heap", Box::new(|| Box::new(PairingHeap::new()))),
+        ("top-4", Box::new(|| Box::new(TopKUniform::new(4, StdRng::seed_from_u64(1))))),
+        ("top-64", Box::new(|| Box::new(TopKUniform::new(64, StdRng::seed_from_u64(2))))),
+        ("sim-mq-8", Box::new(|| Box::new(SimMultiQueue::new(8, StdRng::seed_from_u64(3))))),
+        (
+            "sim-spray-16",
+            Box::new(|| Box::new(SimSprayList::with_threads(16, StdRng::seed_from_u64(4)))),
+        ),
+        ("uniform-random", Box::new(|| Box::new(UniformRandom::new(StdRng::seed_from_u64(5))))),
+        ("round-robin-8", Box::new(|| Box::new(RoundRobinTopK::new(8)))),
+    ];
+    let (exact_out, exact_stats) = run_exact(make_alg(), pi);
+    assert_eq!(&exact_out, expected, "run_exact diverged from reference");
+    assert_eq!(exact_stats.total_pops as usize, pi.len());
+    for (name, mut mk) in scheds {
+        let (out, stats) = run_relaxed(make_alg(), pi, mk());
+        assert_eq!(&out, expected, "scheduler {name} changed the output");
+        assert_eq!(
+            stats.total_pops,
+            pi.len() as u64 + stats.extra_iterations(),
+            "accounting broken for {name}"
+        );
+    }
+}
+
+fn test_graphs() -> Vec<CsrGraph> {
+    let mut rng = StdRng::seed_from_u64(1000);
+    vec![
+        gen::gnm(200, 800, &mut rng),
+        gen::gnm(500, 500, &mut rng),
+        gen::complete(40),
+        gen::star(100),
+        gen::path(150),
+        gen::cycle(99),
+        gen::grid2d(12, 12),
+        gen::barabasi_albert(300, 3, &mut rng),
+        gen::complete_bipartite(30, 50),
+        gen::empty(64),
+    ]
+}
+
+#[test]
+fn mis_is_deterministic_on_graph_zoo() {
+    let mut rng = StdRng::seed_from_u64(2000);
+    for g in test_graphs() {
+        let pi = Permutation::random(g.num_vertices(), &mut rng);
+        let expected = greedy_mis(&g, &pi);
+        assert!(verify_mis(&g, &expected));
+        assert_deterministic(&pi, &expected, || MisTasks::new(&g, &pi));
+    }
+}
+
+#[test]
+fn coloring_is_deterministic_on_graph_zoo() {
+    let mut rng = StdRng::seed_from_u64(3000);
+    for g in test_graphs() {
+        let pi = Permutation::random(g.num_vertices(), &mut rng);
+        let expected = greedy_coloring(&g, &pi);
+        assert!(verify_coloring(&g, &expected));
+        assert_deterministic(&pi, &expected, || ColoringTasks::new(&g, &pi));
+    }
+}
+
+#[test]
+fn matching_is_deterministic_on_graph_zoo() {
+    let mut rng = StdRng::seed_from_u64(4000);
+    for g in test_graphs() {
+        let inst = MatchingInstance::new(&g);
+        if inst.num_edges() == 0 {
+            continue;
+        }
+        let pi = Permutation::random(inst.num_edges(), &mut rng);
+        let expected = greedy_matching(&inst, &pi);
+        assert!(verify_matching(&inst, &expected));
+        assert_deterministic(&pi, &expected, || MatchingTasks::new(&inst, &pi));
+    }
+}
+
+#[test]
+fn list_contraction_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(5000);
+    for n in [1usize, 2, 17, 400] {
+        let list = ListInstance::new_shuffled(n, &mut rng);
+        let pi = Permutation::random(n, &mut rng);
+        let expected = sequential_contraction(&list, &pi);
+        assert_deterministic(&pi, &expected, || ContractionTasks::new(&list, &pi));
+    }
+}
+
+#[test]
+fn knuth_shuffle_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(6000);
+    for n in [1usize, 2, 33, 400] {
+        let targets = random_targets(n, &mut rng);
+        let pi = shuffle_priorities(n);
+        let expected = fisher_yates(&targets);
+        assert_deterministic(&pi, &expected, || ShuffleTasks::new(targets.clone()));
+    }
+}
+
+#[test]
+fn different_permutations_give_different_but_valid_outputs() {
+    // Determinism is per-π: two permutations generally disagree, but both
+    // outputs are valid. (Guards against "deterministic because constant".)
+    let mut rng = StdRng::seed_from_u64(7000);
+    let g = gen::gnm(300, 2000, &mut rng);
+    let pi1 = Permutation::random(300, &mut rng);
+    let pi2 = Permutation::random(300, &mut rng);
+    let m1 = greedy_mis(&g, &pi1);
+    let m2 = greedy_mis(&g, &pi2);
+    assert!(verify_mis(&g, &m1) && verify_mis(&g, &m2));
+    assert_ne!(m1, m2, "two random permutations almost surely differ");
+}

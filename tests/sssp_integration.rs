@@ -1,0 +1,84 @@
+//! SSSP integration: every scheduler (sequential models, concurrent
+//! structures) converges to Dijkstra's distances on assorted graph shapes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsched::core::algorithms::sssp::{concurrent_sssp, dijkstra, relaxed_sssp, UNREACHABLE};
+use rsched::graph::{gen, WeightedCsr};
+use rsched::queues::concurrent::{LockFreeMultiQueue, MultiQueue, SprayList};
+use rsched::queues::exact::PairingHeap;
+use rsched::queues::relaxed::SimMultiQueue;
+
+fn weighted(n: usize, m: usize, seed: u64) -> WeightedCsr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::gnm(n, m, &mut rng);
+    WeightedCsr::with_uniform_weights(&g, 1, 1000, &mut rng)
+}
+
+#[test]
+fn pairing_heap_matches_binary_heap_dijkstra() {
+    let g = weighted(500, 3000, 1);
+    let expected = dijkstra(&g, 0);
+    let (dist, stats) = relaxed_sssp(&g, 0, PairingHeap::new());
+    assert_eq!(dist, expected);
+    assert_eq!(stats.pops, 1 + stats.relaxations);
+}
+
+#[test]
+fn relaxed_models_converge() {
+    let g = weighted(1_000, 8_000, 2);
+    let expected = dijkstra(&g, 3);
+    for q in [2usize, 16, 64] {
+        let (dist, _) = relaxed_sssp(&g, 3, SimMultiQueue::new(q, StdRng::seed_from_u64(5)));
+        assert_eq!(dist, expected, "q = {q}");
+    }
+}
+
+#[test]
+fn concurrent_schedulers_converge() {
+    let g = weighted(1_000, 6_000, 3);
+    let expected = dijkstra(&g, 0);
+    for threads in [1usize, 2, 4] {
+        let mq: MultiQueue<u32> = MultiQueue::for_threads(threads);
+        assert_eq!(concurrent_sssp(&g, 0, &mq, threads), expected, "mq t={threads}");
+    }
+    let lf: LockFreeMultiQueue<u32> = LockFreeMultiQueue::new(8);
+    assert_eq!(concurrent_sssp(&g, 0, &lf, 2), expected);
+    let spray: SprayList<u32> = SprayList::new(2);
+    assert_eq!(concurrent_sssp(&g, 0, &spray, 2), expected);
+}
+
+#[test]
+fn structured_graphs() {
+    // Path: distances are prefix sums.
+    let triples: Vec<(u32, u32, u32)> = (0..99u32).map(|i| (i, i + 1, 2)).collect();
+    let g = WeightedCsr::from_weighted_edges(100, triples);
+    let dist = dijkstra(&g, 0);
+    for v in 0..100usize {
+        assert_eq!(dist[v], 2 * v as u64);
+    }
+    // Star: everything at one hop.
+    let star: Vec<(u32, u32, u32)> = (1..50u32).map(|i| (0, i, 7)).collect();
+    let g = WeightedCsr::from_weighted_edges(50, star);
+    let dist = dijkstra(&g, 0);
+    assert!(dist[1..].iter().all(|&d| d == 7));
+}
+
+#[test]
+fn unreachable_parts_stay_unreachable_concurrently() {
+    let g = WeightedCsr::from_weighted_edges(6, [(0, 1, 1), (1, 2, 1), (3, 4, 1)]);
+    let mq: MultiQueue<u32> = MultiQueue::new(4);
+    let dist = concurrent_sssp(&g, 0, &mq, 2);
+    assert_eq!(dist[3], UNREACHABLE);
+    assert_eq!(dist[4], UNREACHABLE);
+    assert_eq!(dist[5], UNREACHABLE);
+    assert_eq!(dist[2], 2);
+}
+
+#[test]
+fn heavier_concurrent_instance() {
+    let g = weighted(20_000, 200_000, 9);
+    let expected = dijkstra(&g, 0);
+    let mq: MultiQueue<u32> = MultiQueue::for_threads(2);
+    assert_eq!(concurrent_sssp(&g, 0, &mq, 2), expected);
+}
