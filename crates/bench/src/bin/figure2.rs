@@ -50,6 +50,18 @@ fn time_sequential(g: &CsrGraph, pi: &Permutation, reps: usize) -> Duration {
 
 fn main() {
     let args = Args::parse();
+    if args.help(
+        "figure2",
+        "Regenerates Figure 2: concurrent MIS wall-clock time vs thread count.",
+        &[
+            ("--quick", "fewer repetitions"),
+            ("--reps N", "repetitions per configuration"),
+            ("--seed S", "base RNG seed"),
+            ("--threads LIST", "comma-separated thread counts"),
+        ],
+    ) {
+        return;
+    }
     let quick = args.has_flag("quick");
     let reps = args.get_usize("reps", if quick { 1 } else { 3 });
     let seed = args.get_u64("seed", 7);

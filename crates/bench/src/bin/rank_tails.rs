@@ -44,17 +44,27 @@ fn implied_k(tail: &[f64], l: usize) -> String {
 
 fn main() {
     let args = Args::parse();
+    if args.help(
+        "rank_tails",
+        "Validates Definition 1: empirical rank and fairness tail exponents per scheduler.",
+        &[
+            ("--n N", "elements drained per scheduler"),
+            ("--k K", "nominal relaxation factor"),
+            ("--seed S", "base RNG seed"),
+        ],
+    ) {
+        return;
+    }
     let n = args.get_u64("n", 50_000);
     let k = args.get_usize("k", 16);
     let seed = args.get_u64("seed", 3);
 
     println!("Definition 1 validation: n = {n}, nominal k = {k}\n");
 
-    let schedulers: Vec<(&str, Box<dyn FnOnce() -> (Vec<f64>, Vec<f64>, f64, usize)>)> = vec![
-        (
-            "exact (binary heap)",
-            Box::new(move || drain_tails(BinaryHeapScheduler::new(), n)),
-        ),
+    // (rank tail, fairness tail, mean rank, max observed rank) per scheduler.
+    type TailRun = Box<dyn FnOnce() -> (Vec<f64>, Vec<f64>, f64, usize)>;
+    let schedulers: Vec<(&str, TailRun)> = vec![
+        ("exact (binary heap)", Box::new(move || drain_tails(BinaryHeapScheduler::new(), n))),
         (
             "top-k uniform",
             Box::new(move || drain_tails(TopKUniform::new(k, StdRng::seed_from_u64(seed)), n)),
@@ -69,10 +79,7 @@ fn main() {
                 drain_tails(SimSprayList::with_threads(k, StdRng::seed_from_u64(seed)), n)
             }),
         ),
-        (
-            "adversarial top-k",
-            Box::new(move || drain_tails(AdversarialTopK::new(k), n)),
-        ),
+        ("adversarial top-k", Box::new(move || drain_tails(AdversarialTopK::new(k), n))),
     ];
 
     let ls = [1usize, 2, 4, 8, 16, 32, 64, 128];

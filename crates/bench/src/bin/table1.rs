@@ -15,10 +15,10 @@ use rand::SeedableRng;
 use rsched_bench::{Args, Table};
 use rsched_core::algorithms::mis::MisTasks;
 use rsched_core::framework::run_relaxed;
+use rsched_core::TaskId;
 use rsched_graph::{gen, Permutation};
 use rsched_queues::relaxed::{SimMultiQueue, TopKUniform};
 use rsched_queues::PriorityScheduler;
-use rsched_core::TaskId;
 
 fn extra_iterations<S, F>(n: usize, m: usize, reps: usize, seed: u64, make_sched: F) -> f64
 where
@@ -39,19 +39,32 @@ where
 
 fn main() {
     let args = Args::parse();
+    if args.help(
+        "table1",
+        "Regenerates Table 1: MIS extra iterations vs k, n, m under TopKUniform.",
+        &[
+            ("--quick", "smaller instances and fewer repetitions"),
+            ("--reps N", "repetitions per configuration"),
+            ("--seed S", "base RNG seed"),
+            ("--ns LIST", "comma-separated vertex counts"),
+            ("--ms LIST", "comma-separated edge counts"),
+            ("--ks LIST", "comma-separated relaxation factors"),
+        ],
+    ) {
+        return;
+    }
     let quick = args.has_flag("quick");
     let reps = args.get_usize("reps", if quick { 2 } else { 5 });
     let seed = args.get_u64("seed", 42);
     let ns = args.get_usize_list("ns", if quick { &[1_000] } else { &[1_000, 10_000] });
-    let ms = args.get_usize_list(
-        "ms",
-        if quick { &[10_000, 30_000] } else { &[10_000, 30_000, 100_000] },
-    );
+    let ms = args
+        .get_usize_list("ms", if quick { &[10_000, 30_000] } else { &[10_000, 30_000, 100_000] });
     let ks = args.get_usize_list("ks", &[4, 8, 16, 32, 64]);
 
     println!("Table 1 reproduction: MIS extra iterations (averaged over {reps} runs)\n");
 
-    for (name, which) in [("simulated MultiQueue (q = k)", 0usize), ("canonical top-k uniform", 1)] {
+    for (name, which) in [("simulated MultiQueue (q = k)", 0usize), ("canonical top-k uniform", 1)]
+    {
         println!("scheduler: {name}");
         let mut header: Vec<String> = vec!["|V|".into(), "|E|".into()];
         header.extend(ks.iter().map(|k| format!("k={k}")));
@@ -84,5 +97,7 @@ fn main() {
     }
 
     println!("paper reference (MultiQueue, |V|=1000 row 1): 12.8  56.8  148.8  308.6  583.0");
-    println!("Shape checks: values grow polynomially in k and stay flat in |V| and |E| (Theorem 2).");
+    println!(
+        "Shape checks: values grow polynomially in k and stay flat in |V| and |E| (Theorem 2)."
+    );
 }

@@ -34,6 +34,18 @@ fn coloring_extra(g: &CsrGraph, reps: usize, k: usize, seed: u64) -> f64 {
 
 fn main() {
     let args = Args::parse();
+    if args.help(
+        "theorem1_sweep",
+        "Sweeps Theorem 1's generic waste bound across graph families (incl. the clique).",
+        &[
+            ("--quick", "fewer repetitions"),
+            ("--reps N", "repetitions per configuration"),
+            ("--seed S", "base RNG seed"),
+            ("--ks LIST", "comma-separated relaxation factors"),
+        ],
+    ) {
+        return;
+    }
     let quick = args.has_flag("quick");
     let reps = args.get_usize("reps", if quick { 2 } else { 5 });
     let seed = args.get_u64("seed", 11);

@@ -49,6 +49,18 @@ fn matching_extra(g: &CsrGraph, reps: usize, k: usize, seed: u64) -> f64 {
 
 fn main() {
     let args = Args::parse();
+    if args.help(
+        "theorem2_sweep",
+        "Checks Theorem 2's headline claim: MIS wasted work flat in n for fixed k.",
+        &[
+            ("--quick", "fewer repetitions"),
+            ("--reps N", "repetitions per configuration"),
+            ("--seed S", "base RNG seed"),
+            ("--k K", "fixed relaxation factor"),
+        ],
+    ) {
+        return;
+    }
     let quick = args.has_flag("quick");
     let reps = args.get_usize("reps", if quick { 2 } else { 5 });
     let seed = args.get_u64("seed", 13);
@@ -86,16 +98,12 @@ fn main() {
     println!("{table}");
     // Log-log slope by least squares: the poly(k) exponent estimate.
     let n_pts = points.len() as f64;
-    let (sx, sy): (f64, f64) = points.iter().fold((0.0, 0.0), |(a, b), (x, y)| {
-        (a + x.ln(), b + y.ln())
-    });
-    let (sxx, sxy): (f64, f64) = points.iter().fold((0.0, 0.0), |(a, b), (x, y)| {
-        (a + x.ln() * x.ln(), b + x.ln() * y.ln())
-    });
+    let (sx, sy): (f64, f64) =
+        points.iter().fold((0.0, 0.0), |(a, b), (x, y)| (a + x.ln(), b + y.ln()));
+    let (sxx, sxy): (f64, f64) =
+        points.iter().fold((0.0, 0.0), |(a, b), (x, y)| (a + x.ln() * x.ln(), b + x.ln() * y.ln()));
     let slope = (n_pts * sxy - sx * sy) / (n_pts * sxx - sx * sx);
-    println!(
-        "fitted poly(k) exponent ≈ {slope:.2} (paper proves ≤ 4 + o(1), conjectures 1)\n"
-    );
+    println!("fitted poly(k) exponent ≈ {slope:.2} (paper proves ≤ 4 + o(1), conjectures 1)\n");
 
     // --- structure sweep ---
     let sn = if quick { 5_000 } else { 20_000 };
@@ -106,7 +114,8 @@ fn main() {
     let reg = gen::near_regular(sn, 12, &mut StdRng::seed_from_u64(seed + 6));
     let grid = gen::grid2d(sn / 100, 100);
     let mut table = Table::new(&["graph", "n", "m", "extra"]);
-    for (name, g) in [("erdos-renyi", &er), ("barabasi-albert", &ba), ("near-regular", &reg), ("grid", &grid)]
+    for (name, g) in
+        [("erdos-renyi", &er), ("barabasi-albert", &ba), ("near-regular", &reg), ("grid", &grid)]
     {
         let e = mis_extra(g, reps, k_fixed, seed);
         table.row(&[&name, &g.num_vertices(), &g.num_edges(), &format!("{e:.1}")]);

@@ -24,6 +24,19 @@ use rsched_queues::relaxed::SimMultiQueue;
 
 fn main() {
     let args = Args::parse();
+    if args.help(
+        "workloads",
+        "Runs all four §4 workloads (MIS, matching, coloring, contraction) across k.",
+        &[
+            ("--n N", "vertex / element count"),
+            ("--m M", "edge count for the graph workloads"),
+            ("--reps N", "repetitions per configuration"),
+            ("--ks LIST", "comma-separated relaxation factors"),
+            ("--seed S", "base RNG seed"),
+        ],
+    ) {
+        return;
+    }
     let n = args.get_usize("n", 30_000);
     let m = args.get_usize("m", 100_000);
     let reps = args.get_usize("reps", 5);

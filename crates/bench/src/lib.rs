@@ -2,7 +2,8 @@
 //! and figures.
 //!
 //! The binaries in `src/bin/` map one-to-one onto the experiment index in
-//! `DESIGN.md`:
+//! `DESIGN.md` at the workspace root (which also records the reproduction's
+//! deliberate substitutions):
 //!
 //! | binary           | regenerates                                   |
 //! |------------------|-----------------------------------------------|
@@ -169,6 +170,38 @@ impl Args {
     /// The raw string value of `--key`, if present.
     pub fn get_str(&self, key: &str) -> Option<&str> {
         self.lookup(key).and_then(|v| v.as_deref())
+    }
+
+    /// Prints a usage message and returns `true` when `--help` was passed.
+    ///
+    /// Experiment binaries call this first thing in `main` and return
+    /// early on `true`, so `binary --help` never starts a workload (the
+    /// smoke tests rely on this).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsched_bench::Args;
+    ///
+    /// let args = Args::parse_from(["--help"].iter().map(|s| s.to_string()));
+    /// assert!(args.help("demo", "Does demo things.", &[("--reps N", "repetitions")]));
+    ///
+    /// let args = Args::parse_from(std::iter::empty());
+    /// assert!(!args.help("demo", "Does demo things.", &[]));
+    /// ```
+    pub fn help(&self, binary: &str, purpose: &str, options: &[(&str, &str)]) -> bool {
+        if !self.has_flag("help") {
+            return false;
+        }
+        println!("{binary} — {purpose}");
+        println!("\nUsage: {binary} [OPTIONS]\n");
+        println!("Options:");
+        let width = options.iter().map(|(flag, _)| flag.len()).max().unwrap_or(0).max(6);
+        for (flag, desc) in options {
+            println!("  {flag:<width$}  {desc}");
+        }
+        println!("  {:<width$}  print this message and exit", "--help");
+        true
     }
 
     /// Comma-separated list of `usize` for `--key`, or `default`.

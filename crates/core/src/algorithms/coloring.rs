@@ -68,7 +68,7 @@ pub fn verify_coloring(g: &CsrGraph, colors: &[u32]) -> bool {
     if colors.len() != g.num_vertices() {
         return false;
     }
-    if colors.iter().any(|&c| c == u32::MAX) {
+    if colors.contains(&u32::MAX) {
         return false;
     }
     g.edges().all(|(u, v)| colors[u as usize] != colors[v as usize])

@@ -141,8 +141,7 @@ mod tests {
         let mut level = vec![0u32; g.num_vertices()];
         {
             let tasks = ExplicitDagTasks::new(g, pi, |v, preds| {
-                level[v as usize] =
-                    preds.iter().map(|&u| level[u as usize] + 1).max().unwrap_or(0);
+                level[v as usize] = preds.iter().map(|&u| level[u as usize] + 1).max().unwrap_or(0);
             });
             let _ = run_relaxed(tasks, pi, sched);
         }

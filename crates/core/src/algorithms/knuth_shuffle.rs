@@ -72,10 +72,9 @@ pub fn dependency_predecessors(targets: &[u32]) -> Vec<[u32; 2]> {
             touchers[t as usize].push(j as u32);
         }
     }
-    for c in 0..n {
+    for (c, chain) in touchers.iter().enumerate() {
         // Chain in ascending index order: [c, j1, j2, …]; processing is
         // descending, so each element's predecessor is its right neighbor.
-        let chain = &touchers[c];
         let mut add = |task: u32, pred: u32| {
             let slot = &mut preds[task as usize];
             if slot[0] == NIL {
@@ -109,12 +108,7 @@ impl ShuffleTasks {
     pub fn new(targets: Vec<u32>) -> Self {
         let n = targets.len();
         let preds = dependency_predecessors(&targets);
-        ShuffleTasks {
-            targets,
-            preds,
-            done: vec![false; n],
-            arr: (0..n as u32).collect(),
-        }
+        ShuffleTasks { targets, preds, done: vec![false; n], arr: (0..n as u32).collect() }
     }
 }
 
@@ -264,7 +258,7 @@ mod tests {
             let preds = dependency_predecessors(&targets);
             let reaches = |from: usize, to: usize| -> bool {
                 let mut stack = vec![from];
-                let mut seen = vec![false; 24];
+                let mut seen = [false; 24];
                 while let Some(x) = stack.pop() {
                     if x == to {
                         return true;

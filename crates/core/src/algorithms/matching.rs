@@ -103,9 +103,7 @@ pub fn verify_matching(inst: &MatchingInstance, in_match: &[bool]) -> bool {
         }
     }
     // Maximal: no edge with both endpoints free.
-    inst.edges
-        .iter()
-        .all(|&(a, b)| taken[a as usize] || taken[b as usize])
+    inst.edges.iter().all(|&(a, b)| taken[a as usize] || taken[b as usize])
 }
 
 /// Cross-check route: run greedy MIS on the materialized line graph.
@@ -214,10 +212,7 @@ impl<'a> ConcurrentMatching<'a> {
 
     /// Extracts the matching membership vector after the run.
     pub fn into_output(self) -> Vec<bool> {
-        self.state
-            .into_iter()
-            .map(|s| s.into_inner() == IN_MATCH)
-            .collect()
+        self.state.into_iter().map(|s| s.into_inner() == IN_MATCH).collect()
     }
 }
 

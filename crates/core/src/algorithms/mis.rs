@@ -166,10 +166,7 @@ impl<'a> ConcurrentMis<'a> {
 
     /// Extracts the MIS membership vector after the run.
     pub fn into_output(self) -> Vec<bool> {
-        self.state
-            .into_iter()
-            .map(|s| s.into_inner() == IN_MIS)
-            .collect()
+        self.state.into_iter().map(|s| s.into_inner() == IN_MIS).collect()
     }
 }
 
@@ -238,7 +235,6 @@ mod tests {
     use rsched_graph::gen;
     use rsched_queues::concurrent::MultiQueue;
     use rsched_queues::relaxed::{SimMultiQueue, SimSprayList, TopKUniform, UniformRandom};
-    use rsched_queues::ConcurrentScheduler;
 
     #[test]
     fn greedy_on_star_picks_center_or_leaves() {
@@ -350,11 +346,8 @@ mod tests {
         let mis = greedy_mis(&g, &pi);
         assert_eq!(mis.iter().filter(|&&b| b).count(), 1);
         assert!(mis[19]); // highest priority = first in order
-        let (out, _) = run_relaxed(
-            MisTasks::new(&g, &pi),
-            &pi,
-            TopKUniform::new(4, StdRng::seed_from_u64(0)),
-        );
+        let (out, _) =
+            run_relaxed(MisTasks::new(&g, &pi), &pi, TopKUniform::new(4, StdRng::seed_from_u64(0)));
         assert_eq!(out, mis);
     }
 

@@ -58,11 +58,7 @@ fn pack(dist: u64, v: u32, vbits: u32) -> u64 {
 /// assert_eq!(dist, vec![0, 2, 4, UNREACHABLE]);
 /// ```
 pub fn dijkstra(g: &WeightedCsr, source: u32) -> Vec<u64> {
-    let (dist, _) = relaxed_sssp(
-        g,
-        source,
-        rsched_queues::exact::BinaryHeapScheduler::new(),
-    );
+    let (dist, _) = relaxed_sssp(g, source, rsched_queues::exact::BinaryHeapScheduler::new());
     dist
 }
 
@@ -221,11 +217,8 @@ mod tests {
         let g = random_weighted(300, 1500, 61);
         let expected = dijkstra(&g, 0);
         for seed in 0..3 {
-            let (dist, stats) = relaxed_sssp(
-                &g,
-                0,
-                SimMultiQueue::new(8, StdRng::seed_from_u64(seed)),
-            );
+            let (dist, stats) =
+                relaxed_sssp(&g, 0, SimMultiQueue::new(8, StdRng::seed_from_u64(seed)));
             assert_eq!(dist, expected, "seed {seed}");
             assert_eq!(stats.pops, stats.stale + (stats.pops - stats.stale));
         }
@@ -235,11 +228,7 @@ mod tests {
     fn relaxation_costs_stale_pops_not_correctness() {
         let g = random_weighted(400, 3000, 62);
         let expected = dijkstra(&g, 5);
-        let (dist, stats) = relaxed_sssp(
-            &g,
-            5,
-            SimMultiQueue::new(32, StdRng::seed_from_u64(7)),
-        );
+        let (dist, stats) = relaxed_sssp(&g, 5, SimMultiQueue::new(32, StdRng::seed_from_u64(7)));
         assert_eq!(dist, expected);
         // A 32-queue MultiQueue on a dense instance essentially always
         // causes some re-expansion.

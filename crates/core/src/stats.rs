@@ -120,14 +120,7 @@ mod tests {
 
     #[test]
     fn extra_iterations_math() {
-        let s = ExecutionStats {
-            tasks: 10,
-            total_pops: 14,
-            processed: 10,
-            wasted: 3,
-            obsolete: 1,
-            ..Default::default()
-        };
+        let s = ExecutionStats { tasks: 10, total_pops: 14, processed: 10, wasted: 3, obsolete: 1 };
         assert_eq!(s.extra_iterations(), 4);
         assert!((s.waste_ratio() - 3.0 / 14.0).abs() < 1e-12);
     }

@@ -32,10 +32,7 @@ pub struct CsrGraph {
 impl CsrGraph {
     /// Creates a graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
-        CsrGraph {
-            offsets: vec![0; n + 1],
-            adj: Vec::new(),
-        }
+        CsrGraph { offsets: vec![0; n + 1], adj: Vec::new() }
     }
 
     /// Builds a graph from an arbitrary edge list.
@@ -151,11 +148,7 @@ impl CsrGraph {
     /// workloads).
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.vertices().flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
         })
     }
 

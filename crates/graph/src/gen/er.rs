@@ -66,10 +66,7 @@ pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
 /// Panics if `m` exceeds `n·(n−1)/2`.
 pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
     let total: u64 = n as u64 * (n as u64 - if n == 0 { 0 } else { 1 }) / 2;
-    assert!(
-        (m as u64) <= total,
-        "m = {m} exceeds the {total} possible edges on {n} vertices"
-    );
+    assert!((m as u64) <= total, "m = {m} exceeds the {total} possible edges on {n} vertices");
     if m == 0 {
         return CsrGraph::empty(n);
     }
@@ -170,10 +167,7 @@ mod tests {
         let m = g.num_edges() as f64;
         // 5 sigma of a binomial with ~20k trials-worth of variance.
         let sigma = (expected * (1.0 - p)).sqrt();
-        assert!(
-            (m - expected).abs() < 5.0 * sigma,
-            "m = {m}, expected ≈ {expected}"
-        );
+        assert!((m - expected).abs() < 5.0 * sigma, "m = {m}, expected ≈ {expected}");
     }
 
     #[test]

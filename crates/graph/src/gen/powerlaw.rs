@@ -16,7 +16,7 @@ use rand::Rng;
 /// Panics if `attach == 0` or `n < attach + 1`.
 pub fn barabasi_albert<R: Rng>(n: usize, attach: usize, rng: &mut R) -> CsrGraph {
     assert!(attach > 0, "attach must be positive");
-    assert!(n >= attach + 1, "need at least attach + 1 = {} vertices", attach + 1);
+    assert!(n > attach, "need at least attach + 1 = {} vertices", attach + 1);
     let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * attach);
     // `endpoints` holds one entry per half-edge: sampling uniformly from it
     // is sampling proportionally to degree.

@@ -19,7 +19,7 @@ use rand::Rng;
 ///
 /// Panics if `n * d` is odd or `d >= n`.
 pub fn near_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> CsrGraph {
-    assert!(n * d % 2 == 0, "n * d must be even to pair stubs");
+    assert!((n * d).is_multiple_of(2), "n * d must be even to pair stubs");
     assert!(d < n, "degree must be < n");
     let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
     for v in 0..n as u32 {

@@ -63,9 +63,8 @@ pub fn write_text<W: Write>(g: &CsrGraph, mut w: W) -> io::Result<()> {
 /// [`ReadGraphError::Io`] on reader failures.
 pub fn read_text<R: BufRead>(r: R) -> Result<CsrGraph, ReadGraphError> {
     let mut lines = r.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| ReadGraphError::Parse("missing header line".into()))??;
+    let header =
+        lines.next().ok_or_else(|| ReadGraphError::Parse("missing header line".into()))??;
     let mut parts = header.split_whitespace();
     let n: usize = parse_field(parts.next(), "vertex count")?;
     let m: usize = parse_field(parts.next(), "edge count")?;
@@ -79,9 +78,7 @@ pub fn read_text<R: BufRead>(r: R) -> Result<CsrGraph, ReadGraphError> {
         let u: u32 = parse_field(parts.next(), "edge endpoint")?;
         let v: u32 = parse_field(parts.next(), "edge endpoint")?;
         if (u as usize) >= n || (v as usize) >= n {
-            return Err(ReadGraphError::Parse(format!(
-                "edge ({u}, {v}) out of range for n = {n}"
-            )));
+            return Err(ReadGraphError::Parse(format!("edge ({u}, {v}) out of range for n = {n}")));
         }
         edges.push((u, v));
     }
@@ -94,10 +91,7 @@ pub fn read_text<R: BufRead>(r: R) -> Result<CsrGraph, ReadGraphError> {
     Ok(CsrGraph::from_edges(n, edges))
 }
 
-fn parse_field<T: std::str::FromStr>(
-    field: Option<&str>,
-    what: &str,
-) -> Result<T, ReadGraphError> {
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, what: &str) -> Result<T, ReadGraphError> {
     field
         .ok_or_else(|| ReadGraphError::Parse(format!("missing {what}")))?
         .parse()
@@ -146,9 +140,7 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<CsrGraph, ReadGraphError> {
         r.read_exact(&mut buf4)?;
         let v = u32::from_le_bytes(buf4);
         if (u as usize) >= n || (v as usize) >= n {
-            return Err(ReadGraphError::Parse(format!(
-                "edge ({u}, {v}) out of range for n = {n}"
-            )));
+            return Err(ReadGraphError::Parse(format!("edge ({u}, {v}) out of range for n = {n}")));
         }
         edges.push((u, v));
     }

@@ -145,7 +145,7 @@ mod tests {
     fn random_is_bijection() {
         let mut rng = StdRng::seed_from_u64(9);
         let p = Permutation::random(100, &mut rng);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for pos in 0..100u32 {
             let t = p.task_at(pos);
             assert!(!seen[t as usize]);

@@ -84,10 +84,8 @@ impl WeightedCsr {
     pub fn with_uniform_weights<R: Rng>(g: &CsrGraph, lo: u32, hi: u32, rng: &mut R) -> Self {
         assert!(lo > 0, "SSSP weights must be positive");
         assert!(lo <= hi, "empty weight range");
-        let triples: Vec<(u32, u32, u32)> = g
-            .edges()
-            .map(|(u, v)| (u, v, rng.gen_range(lo..=hi)))
-            .collect();
+        let triples: Vec<(u32, u32, u32)> =
+            g.edges().map(|(u, v)| (u, v, rng.gen_range(lo..=hi))).collect();
         Self::from_weighted_edges(g.num_vertices(), triples)
     }
 
@@ -118,9 +116,7 @@ impl WeightedCsr {
     pub fn neighbors_weighted(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
         let start = self.offsets[v as usize];
         let ns = self.graph.neighbors(v);
-        ns.iter()
-            .copied()
-            .zip(self.weights[start..start + ns.len()].iter().copied())
+        ns.iter().copied().zip(self.weights[start..start + ns.len()].iter().copied())
     }
 }
 
@@ -171,7 +167,10 @@ mod tests {
 
     #[test]
     fn all_half_edges_covered() {
-        let g = WeightedCsr::from_weighted_edges(5, [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 4, 4), (4, 0, 5)]);
+        let g = WeightedCsr::from_weighted_edges(
+            5,
+            [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 4, 4), (4, 0, 5)],
+        );
         let mut count = 0;
         for v in 0..5 {
             count += g.neighbors_weighted(v).count();

@@ -258,7 +258,7 @@ mod tests {
                     while let Some((_, v)) = q.pop() {
                         local.push(v);
                         // Sporadic re-insertions with fresh ids.
-                        if i % 100 == 0 {
+                        if i.is_multiple_of(100) {
                             q.insert(30_000 + t * 1_000 + i / 100, 30_000 + t * 1_000 + i / 100);
                         }
                         i += 1;

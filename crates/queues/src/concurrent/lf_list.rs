@@ -102,11 +102,8 @@ impl<T: Send> HarrisList<T> {
     pub fn insert(&self, priority: u64, seq: u64, item: T) {
         let guard = &epoch::pin();
         let key = (priority, seq);
-        let mut node = Owned::new(Node {
-            key,
-            item: ManuallyDrop::new(item),
-            next: Atomic::null(),
-        });
+        let mut node =
+            Owned::new(Node { key, item: ManuallyDrop::new(item), next: Atomic::null() });
         loop {
             let (prev, cur) = self.find(key, guard);
             node.next.store(cur, Relaxed);
@@ -125,10 +122,7 @@ impl<T: Send> HarrisList<T> {
             let prev = &self.head;
             let mut cur = prev.load(Acquire, guard);
             loop {
-                let cur_ref = match unsafe { cur.as_ref() } {
-                    Some(r) => r,
-                    None => return None,
-                };
+                let cur_ref = unsafe { cur.as_ref() }?;
                 let next = cur_ref.next.load(Acquire, guard);
                 if next.tag() == 1 {
                     // cur already logically deleted: help unlink it.
@@ -143,9 +137,7 @@ impl<T: Send> HarrisList<T> {
                 }
                 // Logical delete: tag cur's next pointer. Winning this CAS
                 // grants ownership of the payload.
-                match cur_ref
-                    .next
-                    .compare_exchange(next, next.with_tag(1), AcqRel, Relaxed, guard)
+                match cur_ref.next.compare_exchange(next, next.with_tag(1), AcqRel, Relaxed, guard)
                 {
                     Ok(_) => {
                         let priority = cur_ref.key.0;

@@ -43,9 +43,7 @@ impl<T: Send> LockFreeMultiQueue<T> {
     pub fn new(num_queues: usize) -> Self {
         assert!(num_queues >= 1, "need at least one internal queue");
         LockFreeMultiQueue {
-            lists: (0..num_queues)
-                .map(|_| CachePadded::new(HarrisList::new()))
-                .collect(),
+            lists: (0..num_queues).map(|_| CachePadded::new(HarrisList::new())).collect(),
             len: CachePadded::new(AtomicUsize::new(0)),
             seq: CachePadded::new(AtomicU64::new(0)),
         }

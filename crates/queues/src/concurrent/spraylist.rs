@@ -187,11 +187,7 @@ impl<T: Send> SprayList<T> {
         loop {
             let old = self.registry.load(Acquire);
             unsafe { (*node).reg_next.store(old, Relaxed) };
-            if self
-                .registry
-                .compare_exchange(old, node as usize, AcqRel, Acquire)
-                .is_ok()
-            {
+            if self.registry.compare_exchange(old, node as usize, AcqRel, Acquire).is_ok() {
                 break;
             }
         }
@@ -203,10 +199,7 @@ impl<T: Send> SprayList<T> {
             self.find((priority, seq), &mut preds, &mut succs);
             unsafe { node_ref(node).tower[0].store(succs[0] as usize, Relaxed) };
             let link = self.link(preds[0], 0);
-            if link
-                .compare_exchange(succs[0] as usize, node as usize, AcqRel, Acquire)
-                .is_ok()
-            {
+            if link.compare_exchange(succs[0] as usize, node as usize, AcqRel, Acquire).is_ok() {
                 break;
             }
         }
@@ -221,10 +214,7 @@ impl<T: Send> SprayList<T> {
                 let succ = succs[level];
                 unsafe { node_ref(node).tower[level].store(succ as usize, Relaxed) };
                 let link = self.link(pred, level);
-                if link
-                    .compare_exchange(succ as usize, node as usize, AcqRel, Acquire)
-                    .is_ok()
-                {
+                if link.compare_exchange(succ as usize, node as usize, AcqRel, Acquire).is_ok() {
                     break;
                 }
                 // Contention: recompute the neighborhood and retry.
@@ -287,21 +277,20 @@ impl<T: Send> SprayList<T> {
             while !cur.is_null() && hops < 64 {
                 let bottom = unsafe { node_ref(cur).tower[0].load(Acquire) };
                 last_key = Some(unsafe { node_ref(cur).key });
-                if bottom & DELETED == 0 {
-                    if unsafe { &node_ref(cur).tower[0] }
+                if bottom & DELETED == 0
+                    && unsafe { &node_ref(cur).tower[0] }
                         .compare_exchange(bottom, bottom | DELETED, AcqRel, Acquire)
                         .is_ok()
-                    {
-                        // SAFETY: we won the mark; we are the unique owner.
-                        let item = unsafe { ptr::read(&*node_ref(cur).item) };
-                        let key = unsafe { node_ref(cur).key };
-                        self.len.fetch_sub(1, AcqRel);
-                        // Trigger physical unlinking along the search path.
-                        let mut preds = [ptr::null_mut(); MAX_HEIGHT];
-                        let mut succs = [ptr::null_mut(); MAX_HEIGHT];
-                        self.find(key, &mut preds, &mut succs);
-                        return Some((key.0, item));
-                    }
+                {
+                    // SAFETY: we won the mark; we are the unique owner.
+                    let item = unsafe { ptr::read(&*node_ref(cur).item) };
+                    let key = unsafe { node_ref(cur).key };
+                    self.len.fetch_sub(1, AcqRel);
+                    // Trigger physical unlinking along the search path.
+                    let mut preds = [ptr::null_mut(); MAX_HEIGHT];
+                    let mut succs = [ptr::null_mut(); MAX_HEIGHT];
+                    self.find(key, &mut preds, &mut succs);
+                    return Some((key.0, item));
                 }
                 cur = untag::<T>(unsafe { node_ref(cur).tower[0].load(Acquire) });
                 hops += 1;

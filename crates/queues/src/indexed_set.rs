@@ -39,11 +39,7 @@ impl IndexedSet {
 
     /// Creates an empty set pre-sized for priorities `0..capacity`.
     pub fn with_capacity(capacity: usize) -> Self {
-        IndexedSet {
-            tree: vec![0; capacity + 1],
-            bits: vec![0; capacity / 64 + 1],
-            len: 0,
-        }
+        IndexedSet { tree: vec![0; capacity + 1], bits: vec![0; capacity / 64 + 1], len: 0 }
     }
 
     /// Number of elements.

@@ -70,10 +70,7 @@ impl<S> Instrumented<S> {
 
     /// Largest rank ever returned (0 if nothing was popped).
     pub fn max_rank(&self) -> usize {
-        self.rank_counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.rank_counts.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 
     /// Mean rank over all pops.
@@ -81,12 +78,7 @@ impl<S> Instrumented<S> {
         if self.pops == 0 {
             return 0.0;
         }
-        let total: u64 = self
-            .rank_counts
-            .iter()
-            .enumerate()
-            .map(|(r, &c)| r as u64 * c)
-            .sum();
+        let total: u64 = self.rank_counts.iter().enumerate().map(|(r, &c)| r as u64 * c).sum();
         total as f64 / self.pops as f64
     }
 

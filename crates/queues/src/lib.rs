@@ -28,6 +28,8 @@
 //!     q.insert(p, p as u32);
 //! }
 //! let (prio, item) = q.pop().expect("non-empty");
+//! // Not a probabilistic claim: a top-4 scheduler over priorities 0..10
+//! // must return one of {0, 1, 2, 3}, whatever its RNG stream draws.
 //! assert!(prio < 4, "top-4 scheduler returned rank ≥ 4");
 //! assert_eq!(prio, item as u64);
 //! ```

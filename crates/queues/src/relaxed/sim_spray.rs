@@ -50,13 +50,7 @@ impl<T, R: Rng> SimSprayList<T, R> {
     /// `max_jump`. Spray reach (≈ relaxation factor) is
     /// `max_jump · (2^(height+1) − 1)`.
     pub fn with_parameters(height: u32, max_jump: u64, rng: R) -> Self {
-        SimSprayList {
-            set: IndexedSet::new(),
-            items: Vec::new(),
-            rng,
-            height,
-            max_jump,
-        }
+        SimSprayList { set: IndexedSet::new(), items: Vec::new(), rng, height, max_jump }
     }
 
     /// The maximum rank a spray can land on (inclusive).

@@ -13,7 +13,6 @@ use rsched::core::framework::{fill_scheduler, run_concurrent, run_exact_concurre
 use rsched::core::TaskId;
 use rsched::graph::{gen, Permutation};
 use rsched::queues::concurrent::{LockFreeMultiQueue, MultiQueue, SprayList};
-use rsched::queues::ConcurrentScheduler;
 use std::time::Instant;
 
 fn main() {
@@ -25,11 +24,7 @@ fn main() {
     let t = Instant::now();
     let expected = greedy_mis(&g, &pi);
     let seq = t.elapsed();
-    println!(
-        "sequential greedy: {:?} (MIS size {})",
-        seq,
-        expected.iter().filter(|&&b| b).count()
-    );
+    println!("sequential greedy: {:?} (MIS size {})", seq, expected.iter().filter(|&&b| b).count());
 
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
     println!("running with {threads} threads\n");
@@ -44,10 +39,8 @@ fn main() {
 
     // Relaxed: the lock-free MultiQueue over Harris lists (§4's variant).
     let alg = ConcurrentMis::new(&g, &pi);
-    let sched: LockFreeMultiQueue<TaskId> = LockFreeMultiQueue::prefilled(
-        4 * threads,
-        (0..n as u32).map(|v| (pi.label(v) as u64, v)),
-    );
+    let sched: LockFreeMultiQueue<TaskId> =
+        LockFreeMultiQueue::prefilled(4 * threads, (0..n as u32).map(|v| (pi.label(v) as u64, v)));
     let stats = run_concurrent(&alg, &pi, &sched, threads);
     assert_eq!(alg.into_output(), expected);
     println!("relaxed LF-MultiQueue:     {stats}");

@@ -13,11 +13,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rsched::core::algorithms::explicit_dag::ExplicitDagTasks;
 use rsched::core::framework::run_relaxed;
+use rsched::core::TaskId;
 use rsched::graph::{gen, Permutation};
 use rsched::queues::exact::BinaryHeapScheduler;
 use rsched::queues::relaxed::{RoundRobinTopK, SimMultiQueue};
 use rsched::queues::PriorityScheduler;
-use rsched::core::TaskId;
 
 fn chain_depths<S: PriorityScheduler<TaskId>>(
     g: &rsched::graph::CsrGraph,

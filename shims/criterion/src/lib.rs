@@ -1,0 +1,191 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API used by the
+//! workspace's benches: [`Criterion`], benchmark groups,
+//! [`criterion_group!`]/[`criterion_main!`], [`BenchmarkId`] and
+//! [`black_box`].
+//!
+//! Statistical machinery (outlier rejection, HTML reports, regression
+//! detection) is **not** reproduced. Each benchmark runs a short warm-up
+//! followed by `sample_size` timed samples and prints min/median/mean
+//! wall-clock per iteration — enough to compare schedulers on one machine
+//! and to keep `cargo bench` compiling and running offline. Honour
+//! `RSCHED_BENCH_FAST=1` to collapse every benchmark to a single sample
+//! (used by smoke tests).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 20 }
+    }
+
+    /// Registers and immediately runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id, 20, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, f);
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark identified by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.0);
+        run_benchmark(&id, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalises reports here; we do nothing).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id carrying a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", name.into()))
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing each batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("RSCHED_BENCH_FAST").is_some_and(|v| v == "1")
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let samples = if fast_mode() { 1 } else { sample_size };
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+    // One untimed warm-up to populate caches and lazy statics.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    for _ in 0..samples {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter.push(b.elapsed);
+    }
+    per_iter.sort_unstable();
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+    println!("{id:<50} min {min:>12.3?}  median {median:>12.3?}  mean {mean:>12.3?}");
+}
+
+/// Declares a group of benchmark functions, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut group = c.benchmark_group("test");
+            group.sample_size(3);
+            group.bench_function("count", |b| {
+                b.iter(|| calls += 1);
+            });
+            group.finish();
+        }
+        // warm-up + 3 samples
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(8).0, "8");
+        assert_eq!(BenchmarkId::new("mis", 16).0, "mis/16");
+    }
+}

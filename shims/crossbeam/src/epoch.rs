@@ -1,0 +1,544 @@
+//! Epoch-based memory reclamation, mirroring the `crossbeam-epoch` API
+//! surface used by the workspace's Harris list: [`Atomic`] tagged pointers,
+//! [`Owned`]/[`Shared`] ownership states, [`pin`]/[`Guard`] critical
+//! sections, deferred destruction, and [`unprotected`] for unshared access.
+//!
+//! # Scheme
+//!
+//! Classic three-epoch EBR. A global epoch counter advances only when every
+//! *pinned* participant has observed the current epoch; garbage deferred at
+//! epoch `e` is freed once the global epoch reaches `e + 2`, at which point
+//! every guard that could have held a reference (i.e. every guard pinned
+//! before the object was unlinked) has ended. This relies on the same
+//! contract as upstream `crossbeam::epoch`: callers must only
+//! [`Guard::defer_destroy`] objects that are already unreachable to threads
+//! that pin *after* the call.
+//!
+//! Orderings are deliberately conservative (`SeqCst` on the epoch
+//! handshake): this shim optimises for obviously-correct over fast.
+
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// How many queued garbage items trigger a collection attempt on unpin.
+const COLLECT_THRESHOLD: usize = 64;
+
+struct Participant {
+    /// Whether a guard on the owning thread is currently active.
+    pinned: AtomicBool,
+    /// The global epoch observed at pin time (valid while `pinned`).
+    epoch: AtomicUsize,
+    /// Guard nesting depth; only the owning thread mutates it.
+    depth: AtomicUsize,
+}
+
+/// A type-erased deferred deallocation.
+struct Deferred {
+    ptr: usize,
+    drop_fn: unsafe fn(usize),
+}
+
+// SAFETY: the pointee is only touched by whichever thread runs the
+// collection, after the epoch scheme has proven exclusive access.
+unsafe impl Send for Deferred {}
+
+struct Global {
+    epoch: AtomicUsize,
+    registry: Mutex<Vec<Arc<Participant>>>,
+    garbage: Mutex<Vec<(usize, Deferred)>>,
+    garbage_len: AtomicUsize,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        epoch: AtomicUsize::new(0),
+        registry: Mutex::new(Vec::new()),
+        garbage: Mutex::new(Vec::new()),
+        garbage_len: AtomicUsize::new(0),
+    })
+}
+
+/// Per-thread registration handle; deregisters on thread exit.
+struct Handle {
+    participant: Arc<Participant>,
+}
+
+impl Drop for Handle {
+    fn drop(&mut self) {
+        let mut reg = match global().registry.lock() {
+            Ok(r) => r,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        reg.retain(|p| !Arc::ptr_eq(p, &self.participant));
+    }
+}
+
+thread_local! {
+    static HANDLE: Handle = {
+        let participant = Arc::new(Participant {
+            pinned: AtomicBool::new(false),
+            epoch: AtomicUsize::new(0),
+            depth: AtomicUsize::new(0),
+        });
+        let mut reg = match global().registry.lock() {
+            Ok(r) => r,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        reg.push(Arc::clone(&participant));
+        drop(reg);
+        Handle { participant }
+    };
+}
+
+/// Pins the current thread, returning a guard that keeps the epoch from
+/// advancing past the point where this thread's loads remain safe.
+pub fn pin() -> Guard {
+    let participant = HANDLE.with(|h| Arc::clone(&h.participant));
+    if participant.depth.load(Ordering::Relaxed) == 0 {
+        participant.pinned.store(true, Ordering::SeqCst);
+        // Handshake: publish the observed epoch, re-check it was current.
+        loop {
+            let e = global().epoch.load(Ordering::SeqCst);
+            participant.epoch.store(e, Ordering::SeqCst);
+            if global().epoch.load(Ordering::SeqCst) == e {
+                break;
+            }
+        }
+    }
+    participant.depth.fetch_add(1, Ordering::Relaxed);
+    Guard { participant: Some(participant) }
+}
+
+/// Returns a dummy guard for data not shared with any other thread.
+///
+/// # Safety
+///
+/// Callers must guarantee no concurrent access to the data structures
+/// traversed under this guard; deferred destruction runs immediately.
+pub unsafe fn unprotected() -> &'static Guard {
+    static UNPROTECTED: Guard = Guard { participant: None };
+    &UNPROTECTED
+}
+
+/// A pinned critical section. Dropping the guard unpins the thread and
+/// opportunistically collects garbage.
+pub struct Guard {
+    /// `None` for the [`unprotected`] guard.
+    participant: Option<Arc<Participant>>,
+}
+
+impl Guard {
+    /// Schedules the pointee for deallocation once no pinned thread can
+    /// still hold a reference to it.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been created by [`Owned::new`] (or
+    /// [`Owned::into_shared`]), must not be destroyed twice, and must be
+    /// unreachable to any thread that pins after this call.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        let raw = ptr.untagged();
+        debug_assert!(raw != 0, "defer_destroy on null pointer");
+        let deferred = Deferred { ptr: raw, drop_fn: drop_box::<T> };
+        if self.participant.is_none() {
+            // Unprotected: caller vouches for exclusivity; free now.
+            unsafe { (deferred.drop_fn)(deferred.ptr) };
+            return;
+        }
+        let g = global();
+        let stamp = g.epoch.load(Ordering::SeqCst);
+        let mut garbage = match g.garbage.lock() {
+            Ok(q) => q,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        garbage.push((stamp, deferred));
+        g.garbage_len.store(garbage.len(), Ordering::Relaxed);
+    }
+}
+
+unsafe fn drop_box<T>(ptr: usize) {
+    drop(unsafe { Box::from_raw(ptr as *mut T) });
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let Some(participant) = &self.participant else { return };
+        if participant.depth.fetch_sub(1, Ordering::Relaxed) == 1 {
+            participant.pinned.store(false, Ordering::SeqCst);
+            if global().garbage_len.load(Ordering::Relaxed) >= COLLECT_THRESHOLD {
+                try_collect();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Guard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Guard").finish_non_exhaustive()
+    }
+}
+
+/// Tries to advance the global epoch and free sufficiently old garbage.
+/// Skips silently when another thread holds either lock.
+fn try_collect() {
+    let g = global();
+    let Ok(registry) = g.registry.try_lock() else { return };
+    let e = g.epoch.load(Ordering::SeqCst);
+    for p in registry.iter() {
+        if p.pinned.load(Ordering::SeqCst) && p.epoch.load(Ordering::SeqCst) != e {
+            return; // a straggler pins an older epoch: cannot advance
+        }
+    }
+    g.epoch.store(e + 1, Ordering::SeqCst);
+    drop(registry);
+
+    let mut garbage = match g.garbage.lock() {
+        Ok(q) => q,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    // Freeable: deferred at `stamp` with `stamp + 2 <= e + 1`.
+    let mut freeable = Vec::new();
+    let mut i = 0;
+    while i < garbage.len() {
+        if garbage[i].0 + 2 <= e + 1 {
+            freeable.push(garbage.swap_remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    g.garbage_len.store(garbage.len(), Ordering::Relaxed);
+    // Free outside the lock: a pointee's Drop must not deadlock on it.
+    drop(garbage);
+    for (_, deferred) in freeable {
+        unsafe { (deferred.drop_fn)(deferred.ptr) };
+    }
+}
+
+/// Returns the tag mask for `T`'s alignment (low bits available for tags).
+fn low_bits<T>() -> usize {
+    std::mem::align_of::<T>() - 1
+}
+
+/// An atomic, taggable pointer to `T`, loadable only under a [`Guard`].
+pub struct Atomic<T> {
+    data: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: same contract as `AtomicPtr<T>` plus epoch-managed lifetime.
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// Creates a null atomic pointer.
+    pub fn null() -> Self {
+        Atomic { data: AtomicUsize::new(0), _marker: PhantomData }
+    }
+
+    /// Loads the pointer; the result lives as long as the guard.
+    pub fn load<'g>(&self, ord: Ordering, _: &'g Guard) -> Shared<'g, T> {
+        Shared { data: self.data.load(ord), _marker: PhantomData }
+    }
+
+    /// Stores a new pointer, consuming ownership if `new` is [`Owned`].
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.data.store(new.into_usize(), ord);
+    }
+
+    /// Compare-and-swap from `current` to `new`. On failure, returns the
+    /// observed value and hands `new` back to the caller.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_data = new.into_usize();
+        match self.data.compare_exchange(current.data, new_data, success, failure) {
+            Ok(_) => Ok(Shared { data: new_data, _marker: PhantomData }),
+            Err(observed) => Err(CompareExchangeError {
+                current: Shared { data: observed, _marker: PhantomData },
+                // SAFETY: round-trip of the representation we just created.
+                new: unsafe { P::from_usize(new_data) },
+            }),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Atomic({:#x})", self.data.load(Ordering::Relaxed))
+    }
+}
+
+/// The error of a failed [`Atomic::compare_exchange`].
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value the atomic held at the failed exchange.
+    pub current: Shared<'g, T>,
+    /// The proposed value, returned to the caller.
+    pub new: P,
+}
+
+/// Conversion between pointer types and their tagged `usize` form.
+pub trait Pointer<T> {
+    /// Consumes the pointer into its tagged representation.
+    fn into_usize(self) -> usize;
+
+    /// Rebuilds the pointer from a tagged representation.
+    ///
+    /// # Safety
+    ///
+    /// `data` must come from a matching [`Pointer::into_usize`] call whose
+    /// result was not otherwise consumed.
+    unsafe fn from_usize(data: usize) -> Self;
+}
+
+/// Uniquely owned heap allocation, not yet visible to other threads.
+pub struct Owned<T> {
+    data: usize,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<T> Owned<T> {
+    /// Allocates `value` on the heap.
+    pub fn new(value: T) -> Self {
+        Owned { data: Box::into_raw(Box::new(value)) as usize, _marker: PhantomData }
+    }
+
+    /// Converts into a [`Shared`] tied to the guard's lifetime, giving up
+    /// unique ownership to the data structure.
+    pub fn into_shared<'g>(self, _: &'g Guard) -> Shared<'g, T> {
+        let data = ManuallyDrop::new(self).data;
+        Shared { data, _marker: PhantomData }
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_usize(self) -> usize {
+        ManuallyDrop::new(self).data
+    }
+
+    unsafe fn from_usize(data: usize) -> Self {
+        Owned { data, _marker: PhantomData }
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: `data` is an untagged pointer from `Box::into_raw`.
+        unsafe { &*((self.data & !low_bits::<T>()) as *const T) }
+    }
+}
+
+impl<T> std::ops::DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: unique ownership; pointer valid as in `deref`.
+        unsafe { &mut *((self.data & !low_bits::<T>()) as *mut T) }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        // SAFETY: `Owned` uniquely owns the allocation.
+        unsafe { drop(Box::from_raw((self.data & !low_bits::<T>()) as *mut T)) };
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Owned<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Owned").field(&**self).finish()
+    }
+}
+
+/// A tagged pointer valid for the lifetime of a [`Guard`].
+pub struct Shared<'g, T> {
+    data: usize,
+    _marker: PhantomData<(&'g Guard, *const T)>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer (tag 0).
+    pub fn null() -> Self {
+        Shared { data: 0, _marker: PhantomData }
+    }
+
+    /// Whether the untagged pointer is null.
+    pub fn is_null(&self) -> bool {
+        self.untagged() == 0
+    }
+
+    fn untagged(&self) -> usize {
+        self.data & !low_bits::<T>()
+    }
+
+    /// The tag stored in the pointer's low bits.
+    pub fn tag(&self) -> usize {
+        self.data & low_bits::<T>()
+    }
+
+    /// The same pointer with its tag replaced by `tag`.
+    pub fn with_tag(&self, tag: usize) -> Shared<'g, T> {
+        Shared { data: self.untagged() | (tag & low_bits::<T>()), _marker: PhantomData }
+    }
+
+    /// Dereferences if non-null.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be valid (epoch-protected) for `'g`.
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        unsafe { (self.untagged() as *const T).as_ref() }
+    }
+
+    /// Dereferences unconditionally.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and valid (epoch-protected) for `'g`.
+    pub unsafe fn deref(&self) -> &'g T {
+        unsafe { &*(self.untagged() as *const T) }
+    }
+
+    /// Reclaims unique ownership of the allocation.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access to the pointee and the
+    /// pointer must be non-null.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        debug_assert!(!self.is_null(), "into_owned on null Shared");
+        Owned { data: self.untagged(), _marker: PhantomData }
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_usize(self) -> usize {
+        self.data
+    }
+
+    unsafe fn from_usize(data: usize) -> Self {
+        Shared { data, _marker: PhantomData }
+    }
+}
+
+impl<T> PartialEq for Shared<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl<T> Eq for Shared<'_, T> {}
+
+impl<T> std::fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shared({:#x}, tag {})", self.untagged(), self.tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::{Acquire, Release, SeqCst};
+
+    #[test]
+    fn owned_roundtrip_and_tags() {
+        let guard = pin();
+        let a: Atomic<u64> = Atomic::null();
+        assert!(a.load(SeqCst, &guard).is_null());
+        a.store(Owned::new(42u64), Release);
+        let s = a.load(Acquire, &guard);
+        assert!(!s.is_null());
+        assert_eq!(unsafe { *s.deref() }, 42);
+        assert_eq!(s.tag(), 0);
+        let tagged = s.with_tag(1);
+        assert_eq!(tagged.tag(), 1);
+        assert_eq!(unsafe { *tagged.with_tag(0).deref() }, 42);
+        // Clean up.
+        unsafe { drop(a.load(Acquire, &guard).into_owned()) };
+    }
+
+    #[test]
+    fn cas_failure_returns_ownership() {
+        let guard = pin();
+        let a: Atomic<u32> = Atomic::null();
+        a.store(Owned::new(1u32), Release);
+        let cur = a.load(Acquire, &guard);
+        let stale = Shared::null();
+        let err = a
+            .compare_exchange(stale, Owned::new(2u32), SeqCst, SeqCst, &guard)
+            .expect_err("CAS from stale value must fail");
+        assert_eq!(err.current, cur);
+        assert_eq!(*err.new, 2);
+        unsafe { drop(a.load(Acquire, &guard).into_owned()) };
+    }
+
+    #[test]
+    fn deferred_destruction_runs() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, SeqCst);
+            }
+        }
+        let before = DROPS.load(SeqCst);
+        // Defer plenty of items across separate pin sessions so several
+        // collection attempts run.
+        for _ in 0..(COLLECT_THRESHOLD * 8) {
+            let guard = pin();
+            let a: Atomic<Probe> = Atomic::null();
+            a.store(Owned::new(Probe), Release);
+            let s = a.load(Acquire, &guard);
+            a.store(Shared::null(), Release);
+            unsafe { guard.defer_destroy(s) };
+        }
+        // A few empty pin sessions let the epoch advance and drain.
+        for _ in 0..8 {
+            global().garbage_len.store(COLLECT_THRESHOLD, Ordering::Relaxed);
+            drop(pin());
+        }
+        let g = global();
+        let pending = g.garbage.lock().unwrap().len();
+        g.garbage_len.store(pending, Ordering::Relaxed);
+        assert!(
+            DROPS.load(SeqCst) - before + pending >= COLLECT_THRESHOLD * 8,
+            "all deferred items are either dropped or still queued"
+        );
+        assert!(DROPS.load(SeqCst) > before, "at least some garbage was collected");
+    }
+
+    #[test]
+    fn unprotected_frees_immediately() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, SeqCst);
+            }
+        }
+        let before = DROPS.load(SeqCst);
+        let guard = unsafe { unprotected() };
+        let a: Atomic<Probe> = Atomic::null();
+        a.store(Owned::new(Probe), Release);
+        let s = a.load(Acquire, guard);
+        unsafe { guard.defer_destroy(s) };
+        assert_eq!(DROPS.load(SeqCst), before + 1);
+    }
+}

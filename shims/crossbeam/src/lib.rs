@@ -1,0 +1,12 @@
+//! Offline stand-in for the subset of the `crossbeam` 0.8 API used by this
+//! workspace: [`utils::CachePadded`], [`utils::Backoff`], and the
+//! [`epoch`] memory-reclamation module (tagged atomic pointers plus
+//! epoch-based garbage collection, enough for a Harris linked list).
+//!
+//! The build container has no route to crates.io; see `shims/README.md`
+//! for the swap-back-to-upstream story.
+
+#![warn(missing_docs)]
+
+pub mod epoch;
+pub mod utils;

@@ -1,0 +1,91 @@
+//! Offline stand-in for the subset of the `parking_lot` 0.12 API used by
+//! this workspace: [`Mutex`] with panic-transparent (non-poisoning)
+//! `lock`/`try_lock`, backed by `std::sync::Mutex`.
+//!
+//! The build container has no route to crates.io; see `shims/README.md`.
+//! Upstream `parking_lot`'s perf edge (adaptive spinning, tiny footprint)
+//! is not reproduced — only the API contract the workspace relies on:
+//! `lock()` returns the guard directly and a panicked holder does not
+//! poison the lock.
+
+#![warn(missing_docs)]
+
+use std::sync::PoisonError;
+
+/// A mutual-exclusion lock that never poisons.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`] and [`Mutex::try_lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Unlike `std`, a panic
+    /// in a previous holder does not poison the mutex.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(value: T) -> Self {
+        Mutex::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_try_lock() {
+        let m = Mutex::new(5);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            assert!(m.try_lock().is_none(), "held lock must not be re-acquirable");
+        }
+        assert_eq!(*m.try_lock().expect("free lock"), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn no_poisoning_after_panic() {
+        let m = std::sync::Arc::new(Mutex::new(1));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1, "lock usable after a holder panicked");
+    }
+}

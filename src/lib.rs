@@ -33,8 +33,13 @@
 //! // Output is deterministic: identical to the sequential greedy MIS for pi.
 //! assert_eq!(mis, greedy_mis(&g, &pi));
 //! assert!(verify_mis(&g, &mis));
-//! // Wasted work is tiny: n + poly(k) total pops (Theorem 2).
-//! assert!(stats.wasted as f64 <= 16f64.powi(3));
+//! // Every vertex is accounted for: processed or retired as obsolete.
+//! assert_eq!(stats.processed + stats.obsolete, g.num_vertices() as u64);
+//! // Wasted work is tiny: n + poly(k) total pops (Theorem 2). The paper's
+//! // bound is k³ = 4096; with the workspace's pinned RNG (vendored
+//! // xoshiro256** StdRng) and these seeds the observed value is exactly 22,
+//! // so assert a margin that is meaningful (≪ n = 1000) yet not brittle.
+//! assert!(stats.wasted <= 64, "wasted = {} exceeds calibrated bound", stats.wasted);
 //! ```
 //!
 //! See [`graph`], [`queues`] and [`core`] for the three layers, and the

@@ -31,10 +31,7 @@ fn theorem2_mis_extra_does_not_grow_with_n() {
     let k = 8;
     let small = mis_extra(2_000, 20_000, k, 100, 4);
     let large = mis_extra(32_000, 320_000, k, 200, 4);
-    assert!(
-        large < 6.0 * small.max(16.0),
-        "extra grew with n: {small:.1} -> {large:.1}"
-    );
+    assert!(large < 6.0 * small.max(16.0), "extra grew with n: {small:.1} -> {large:.1}");
 }
 
 #[test]

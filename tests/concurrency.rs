@@ -16,7 +16,6 @@ use rsched::core::framework::{
 use rsched::core::TaskId;
 use rsched::graph::{gen, ListInstance, Permutation};
 use rsched::queues::concurrent::{LockFreeMultiQueue, MultiQueue, SprayList};
-use rsched::queues::ConcurrentScheduler;
 
 const THREADS: &[usize] = &[1, 2, 4];
 

@@ -31,7 +31,8 @@ where
     A::Output: PartialEq + std::fmt::Debug,
     F: Fn() -> A,
 {
-    let scheds: Vec<(&str, Box<dyn FnMut() -> Box<dyn PriorityScheduler<TaskId>>>)> = vec![
+    type SchedFactory = Box<dyn FnMut() -> Box<dyn PriorityScheduler<TaskId>>>;
+    let scheds: Vec<(&str, SchedFactory)> = vec![
         ("binary-heap", Box::new(|| Box::new(BinaryHeapScheduler::new()))),
         ("pairing-heap", Box::new(|| Box::new(PairingHeap::new()))),
         ("top-4", Box::new(|| Box::new(TopKUniform::new(4, StdRng::seed_from_u64(1))))),

@@ -54,8 +54,8 @@ fn structured_graphs() {
     let triples: Vec<(u32, u32, u32)> = (0..99u32).map(|i| (i, i + 1, 2)).collect();
     let g = WeightedCsr::from_weighted_edges(100, triples);
     let dist = dijkstra(&g, 0);
-    for v in 0..100usize {
-        assert_eq!(dist[v], 2 * v as u64);
+    for (v, &d) in dist.iter().enumerate() {
+        assert_eq!(d, 2 * v as u64);
     }
     // Star: everything at one hop.
     let star: Vec<(u32, u32, u32)> = (1..50u32).map(|i| (0, i, 7)).collect();
