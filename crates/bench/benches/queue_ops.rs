@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsched_queues::concurrent::{FaaArrayQueue, LockFreeMultiQueue, MultiQueue, SprayList};
+use rsched_queues::concurrent::{
+    BulkMultiQueue, FaaArrayQueue, LockFreeMultiQueue, MultiQueue, SprayList,
+};
 use rsched_queues::exact::{BinaryHeapScheduler, PairingHeap};
 use rsched_queues::relaxed::{SimMultiQueue, SimSprayList, TopKUniform};
 use rsched_queues::{ConcurrentScheduler, PriorityScheduler};
@@ -130,10 +132,145 @@ fn bench_multiqueue_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batch size used by the batched-vs-scalar comparison; ≥ 8 per the
+/// acceptance bar (batched pops must beat scalar pops per element).
+const BATCH: usize = 64;
+
+fn drain_scalar<S: ConcurrentScheduler<u32>>(q: &S) -> u64 {
+    let mut acc = 0u64;
+    while let Some((p, _)) = q.pop() {
+        acc = acc.wrapping_add(p);
+    }
+    acc
+}
+
+fn drain_batched<S: ConcurrentScheduler<u32>>(q: &S) -> u64 {
+    let mut acc = 0u64;
+    let mut buf: Vec<(u64, u32)> = Vec::with_capacity(BATCH);
+    loop {
+        buf.clear();
+        if q.pop_batch(&mut buf, BATCH) == 0 {
+            break;
+        }
+        for &(p, _) in &buf {
+            acc = acc.wrapping_add(p);
+        }
+    }
+    acc
+}
+
+fn fill_scalar<S: ConcurrentScheduler<u32>>(q: &S) {
+    for p in 0..N {
+        q.insert(p, p as u32);
+    }
+}
+
+fn fill_batched<S: ConcurrentScheduler<u32>>(q: &S) {
+    let mut buf: Vec<(u64, u32)> = Vec::with_capacity(BATCH);
+    for p in 0..N {
+        buf.push((p, p as u32));
+        if buf.len() == BATCH {
+            q.insert_batch(&buf);
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        q.insert_batch(&buf);
+    }
+}
+
+fn bench_batched_vs_scalar(c: &mut Criterion) {
+    // The tentpole measurement: per-element cost of a fill+drain through the
+    // scalar ops vs the amortized batch ops, per concurrent scheduler.
+    let mut group = c.benchmark_group("batched_vs_scalar_10k");
+    group.sample_size(10);
+    group.bench_function("multiqueue_q8/scalar", |b| {
+        b.iter(|| {
+            let q: MultiQueue<u32> = MultiQueue::new(8);
+            fill_scalar(&q);
+            black_box(drain_scalar(&q))
+        })
+    });
+    group.bench_function("multiqueue_q8/batched", |b| {
+        b.iter(|| {
+            let q: MultiQueue<u32> = MultiQueue::new(8);
+            fill_batched(&q);
+            black_box(drain_batched(&q))
+        })
+    });
+    group.bench_function("bulk_multiqueue_q8/scalar", |b| {
+        b.iter(|| {
+            let q = BulkMultiQueue::prefilled(8, (0..N).map(|p| (p, p as u32)));
+            black_box(drain_scalar(&q))
+        })
+    });
+    group.bench_function("bulk_multiqueue_q8/batched", |b| {
+        b.iter(|| {
+            let q = BulkMultiQueue::prefilled(8, (0..N).map(|p| (p, p as u32)));
+            black_box(drain_batched(&q))
+        })
+    });
+    group.bench_function("lf_multiqueue_q8/scalar", |b| {
+        b.iter(|| {
+            let q = LockFreeMultiQueue::prefilled(8, (0..N).map(|p| (p, p as u32)));
+            black_box(drain_scalar(&q))
+        })
+    });
+    group.bench_function("lf_multiqueue_q8/batched", |b| {
+        b.iter(|| {
+            let q = LockFreeMultiQueue::prefilled(8, (0..N).map(|p| (p, p as u32)));
+            black_box(drain_batched(&q))
+        })
+    });
+    group.bench_function("spraylist_p4/scalar", |b| {
+        b.iter(|| {
+            let q: SprayList<u32> = SprayList::new(4);
+            fill_scalar(&q);
+            black_box(drain_scalar(&q))
+        })
+    });
+    group.bench_function("spraylist_p4/batched", |b| {
+        b.iter(|| {
+            let q: SprayList<u32> = SprayList::new(4);
+            fill_batched(&q);
+            black_box(drain_batched(&q))
+        })
+    });
+    group.bench_function("faa_array_queue/scalar", |b| {
+        b.iter(|| {
+            let q = FaaArrayQueue::from_sorted((0..N).map(|p| (p, p as u32)).collect());
+            let mut acc = 0u64;
+            while let Some((p, _)) = q.pop() {
+                acc = acc.wrapping_add(p);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("faa_array_queue/batched", |b| {
+        b.iter(|| {
+            let q = FaaArrayQueue::from_sorted((0..N).map(|p| (p, p as u32)).collect());
+            let mut acc = 0u64;
+            let mut buf: Vec<(u64, u32)> = Vec::with_capacity(BATCH);
+            loop {
+                buf.clear();
+                if q.pop_batch(&mut buf, BATCH) == 0 {
+                    break;
+                }
+                for &(p, _) in &buf {
+                    acc = acc.wrapping_add(p);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sequential,
     bench_concurrent_single_thread,
-    bench_multiqueue_scaling
+    bench_multiqueue_scaling,
+    bench_batched_vs_scalar
 );
 criterion_main!(benches);

@@ -12,30 +12,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rsched_bench::table1::extra_iterations;
 use rsched_bench::{Args, Table};
-use rsched_core::algorithms::mis::MisTasks;
-use rsched_core::framework::run_relaxed;
-use rsched_core::TaskId;
-use rsched_graph::{gen, Permutation};
 use rsched_queues::relaxed::{SimMultiQueue, TopKUniform};
-use rsched_queues::PriorityScheduler;
-
-fn extra_iterations<S, F>(n: usize, m: usize, reps: usize, seed: u64, make_sched: F) -> f64
-where
-    S: PriorityScheduler<TaskId>,
-    F: Fn(u64) -> S,
-{
-    let mut total = 0u64;
-    for rep in 0..reps {
-        let rep_seed = seed.wrapping_add(rep as u64 * 1_000_003);
-        let mut rng = StdRng::seed_from_u64(rep_seed);
-        let g = gen::gnm(n, m, &mut rng);
-        let pi = Permutation::random(n, &mut rng);
-        let (_, stats) = run_relaxed(MisTasks::new(&g, &pi), &pi, make_sched(rep_seed ^ 0xABCD));
-        total += stats.extra_iterations();
-    }
-    total as f64 / reps as f64
-}
 
 fn main() {
     let args = Args::parse();

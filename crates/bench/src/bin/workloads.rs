@@ -8,7 +8,15 @@
 //! negligible waste for `k ≪ n` (Theorem 1); MIS and matching should show
 //! `poly(k)` waste regardless of density (Theorem 2).
 //!
-//! Usage: `workloads [--n N] [--m M] [--reps R] [--ks 4,16,64] [--seed S]`
+//! Usage: `workloads [--n N] [--m M] [--reps R] [--ks 4,16,64] [--seed S]
+//! [--batch-size B]`
+//!
+//! `--batch-size B` (default 1) runs the framework in batched mode: `B`
+//! tasks are popped per scheduler round-trip and the batch's failed deletes
+//! are re-inserted in one bulk insert. Batching grows the effective
+//! relaxation (a `k`-relaxed scheduler behaves like an `O(k·B)`-relaxed
+//! one), so the waste columns grow with `B` exactly as they grow with `k`;
+//! batch size 1 is bit-for-bit the scalar framework.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,7 +26,7 @@ use rsched_core::algorithms::knuth_shuffle::{random_targets, shuffle_priorities,
 use rsched_core::algorithms::list_contraction::ContractionTasks;
 use rsched_core::algorithms::matching::{MatchingInstance, MatchingTasks};
 use rsched_core::algorithms::mis::MisTasks;
-use rsched_core::framework::run_relaxed;
+use rsched_core::framework::run_relaxed_batched;
 use rsched_graph::{gen, ListInstance, Permutation};
 use rsched_queues::relaxed::SimMultiQueue;
 
@@ -33,6 +41,7 @@ fn main() {
             ("--reps N", "repetitions per configuration"),
             ("--ks LIST", "comma-separated relaxation factors"),
             ("--seed S", "base RNG seed"),
+            ("--batch-size B", "tasks popped per scheduler round-trip (default 1)"),
         ],
     ) {
         return;
@@ -42,7 +51,14 @@ fn main() {
     let reps = args.get_usize("reps", 5);
     let ks = args.get_usize_list("ks", &[4, 8, 16, 32, 64]);
     let seed = args.get_u64("seed", 17);
+    let batch_size = args.get_usize("batch-size", 1);
+    assert!(batch_size >= 1, "--batch-size must be positive");
 
+    // Batch size 1 must leave the output byte-identical to the pre-batching
+    // binary, so the extra header line is conditional.
+    if batch_size > 1 {
+        println!("framework batch size: {batch_size}");
+    }
     println!("§4 synthetic tests: average extra iterations over {reps} runs (n = {n}, m = {m})\n");
 
     let mut header: Vec<String> = vec!["workload".into(), "tasks".into()];
@@ -64,7 +80,7 @@ fn main() {
         let f = move |k: usize, s: u64| -> u64 {
             let pi = Permutation::random(g.num_vertices(), &mut StdRng::seed_from_u64(s));
             let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 1));
-            run_relaxed(MisTasks::new(g, &pi), &pi, sched).1.extra_iterations()
+            run_relaxed_batched(MisTasks::new(g, &pi), &pi, sched, batch_size).1.extra_iterations()
         };
         let mut cells = vec!["MIS".to_string(), n.to_string()];
         cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));
@@ -78,7 +94,9 @@ fn main() {
         let f = move |k: usize, s: u64| -> u64 {
             let pi = Permutation::random(inst.num_edges(), &mut StdRng::seed_from_u64(s));
             let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 2));
-            run_relaxed(MatchingTasks::new(inst, &pi), &pi, sched).1.extra_iterations()
+            run_relaxed_batched(MatchingTasks::new(inst, &pi), &pi, sched, batch_size)
+                .1
+                .extra_iterations()
         };
         let mut cells = vec!["matching".to_string(), inst.num_edges().to_string()];
         cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));
@@ -92,7 +110,9 @@ fn main() {
         let f = move |k: usize, s: u64| -> u64 {
             let pi = Permutation::random(g.num_vertices(), &mut StdRng::seed_from_u64(s));
             let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 3));
-            run_relaxed(ColoringTasks::new(g, &pi), &pi, sched).1.extra_iterations()
+            run_relaxed_batched(ColoringTasks::new(g, &pi), &pi, sched, batch_size)
+                .1
+                .extra_iterations()
         };
         let mut cells = vec!["coloring".to_string(), n.to_string()];
         cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));
@@ -106,7 +126,9 @@ fn main() {
             let targets = random_targets(n, &mut StdRng::seed_from_u64(s));
             let pi = shuffle_priorities(n);
             let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 4));
-            run_relaxed(ShuffleTasks::new(targets), &pi, sched).1.extra_iterations()
+            run_relaxed_batched(ShuffleTasks::new(targets), &pi, sched, batch_size)
+                .1
+                .extra_iterations()
         };
         let mut cells = vec!["knuth-shuffle".to_string(), n.to_string()];
         cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));
@@ -121,7 +143,9 @@ fn main() {
             let list = ListInstance::new_shuffled(n, &mut rng);
             let pi = Permutation::random(n, &mut rng);
             let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 5));
-            run_relaxed(ContractionTasks::new(&list, &pi), &pi, sched).1.extra_iterations()
+            run_relaxed_batched(ContractionTasks::new(&list, &pi), &pi, sched, batch_size)
+                .1
+                .extra_iterations()
         };
         let mut cells = vec!["list-contraction".to_string(), n.to_string()];
         cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));

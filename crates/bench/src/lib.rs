@@ -220,6 +220,102 @@ impl Args {
     }
 }
 
+/// Table 1 regeneration machinery, shared by the `table1` binary and the
+/// golden-file regression test (`tests/golden_table1.rs`).
+pub mod table1 {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rsched_core::algorithms::mis::MisTasks;
+    use rsched_core::framework::run_relaxed;
+    use rsched_core::TaskId;
+    use rsched_graph::{gen, Permutation};
+    use rsched_queues::relaxed::{SimMultiQueue, TopKUniform};
+    use rsched_queues::PriorityScheduler;
+
+    /// Average extra iterations of relaxed MIS on `reps` fresh `G(n, m)`
+    /// instances, one scheduler per rep from `make_sched(rep_seed)`.
+    pub fn extra_iterations<S, F>(n: usize, m: usize, reps: usize, seed: u64, make_sched: F) -> f64
+    where
+        S: PriorityScheduler<TaskId>,
+        F: Fn(u64) -> S,
+    {
+        let mut total = 0u64;
+        for rep in 0..reps {
+            let rep_seed = seed.wrapping_add(rep as u64 * 1_000_003);
+            let mut rng = StdRng::seed_from_u64(rep_seed);
+            let g = gen::gnm(n, m, &mut rng);
+            let pi = Permutation::random(n, &mut rng);
+            let (_, stats) =
+                run_relaxed(MisTasks::new(&g, &pi), &pi, make_sched(rep_seed ^ 0xABCD));
+            total += stats.extra_iterations();
+        }
+        total as f64 / reps as f64
+    }
+
+    /// Renders the Table 1 sweep as CSV (`scheduler,n,m,k,extra`), fully
+    /// deterministic for fixed inputs: the seeds derive from `seed` and
+    /// every RNG in the pipeline is explicitly seeded. The committed golden
+    /// file under `golden/` is this function's output at the parameters
+    /// pinned in the regression test; a waste regression in the framework,
+    /// the schedulers, or the graph generator shows up as a diff.
+    pub fn golden_csv(ns: &[usize], ms: &[usize], ks: &[usize], reps: usize, seed: u64) -> String {
+        let mut out = String::from("scheduler,n,m,k,extra\n");
+        for (name, which) in [("sim-multiqueue", 0usize), ("top-k-uniform", 1)] {
+            for &n in ns {
+                for &m in ms {
+                    if m > n * (n - 1) / 2 {
+                        continue;
+                    }
+                    for &k in ks {
+                        let avg = if which == 0 {
+                            extra_iterations(n, m, reps, seed, |s| {
+                                SimMultiQueue::new(k, StdRng::seed_from_u64(s))
+                            })
+                        } else {
+                            extra_iterations(n, m, reps, seed, |s| {
+                                TopKUniform::new(k, StdRng::seed_from_u64(s))
+                            })
+                        };
+                        out.push_str(&format!("{name},{n},{m},{k},{avg:.1}\n"));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Least-squares fit of an exponential tail `Pr[X ≥ ℓ] ≈ C·e^(−λℓ)`.
+///
+/// `tail[ℓ]` is the empirical `Pr[X ≥ ℓ]` (as produced by
+/// `rsched_queues::instrument::Instrumented::rank_tail`). The fit regresses
+/// `ln Pr[X ≥ ℓ]` on `ℓ` over the informative points (`0 < p < 1`, which
+/// drops the degenerate `Pr[X ≥ 1] = 1` head and the empty tail) and
+/// returns the decay rate `λ` (positive for a decaying tail), or `None`
+/// with fewer than three informative points. `1/λ` estimates the relaxation
+/// factor `k` of Definition 1.
+pub fn fit_tail_exponent(tail: &[f64]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = tail
+        .iter()
+        .enumerate()
+        .filter(|&(_, &p)| p > 0.0 && p < 1.0)
+        .map(|(l, &p)| (l as f64, p.ln()))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return None;
+    }
+    Some(-(n * sxy - sx * sy) / denom)
+}
+
 /// Geometric-mean helper for speedup summaries.
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -266,5 +362,36 @@ mod tests {
     fn geomean_basics() {
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn fit_recovers_known_exponent() {
+        // A perfect exponential tail: Pr[X ≥ ℓ] = e^(−0.25(ℓ−1)).
+        let lambda = 0.25f64;
+        let tail: Vec<f64> =
+            (0..40).map(|l| (-(lambda) * (l as f64 - 1.0)).exp().min(1.0)).collect();
+        let fitted = fit_tail_exponent(&tail).expect("enough points");
+        assert!((fitted - lambda).abs() < 1e-9, "fitted {fitted}, want {lambda}");
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_tails() {
+        assert_eq!(fit_tail_exponent(&[]), None);
+        // An exact scheduler: Pr[rank ≥ 1] = 1, then nothing — no
+        // informative points.
+        assert_eq!(fit_tail_exponent(&[1.0, 1.0]), None);
+        assert_eq!(fit_tail_exponent(&[1.0, 1.0, 0.5]), None);
+    }
+
+    #[test]
+    fn golden_csv_shape() {
+        let csv = table1::golden_csv(&[50], &[100], &[4], 1, 1);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "scheduler,n,m,k,extra");
+        assert_eq!(lines.len(), 3, "one row per scheduler: {csv}");
+        assert!(lines[1].starts_with("sim-multiqueue,50,100,4,"));
+        assert!(lines[2].starts_with("top-k-uniform,50,100,4,"));
+        // Determinism: same inputs, same bytes.
+        assert_eq!(csv, table1::golden_csv(&[50], &[100], &[4], 1, 1));
     }
 }

@@ -1,0 +1,50 @@
+//! Golden-file regression test for Table 1 (ROADMAP "Table 1 regeneration
+//! and golden file"): regenerates the MIS extra-iterations sweep at a
+//! pinned small size and seed and diffs it against the committed CSV.
+//!
+//! The pipeline behind these numbers — `G(n, m)` generation, permutation
+//! drawing, the relaxed framework, `SimMultiQueue` and `TopKUniform` — is
+//! fully deterministic for a fixed seed, so any diff is a real behavioral
+//! change. If the change is *intended* (e.g. a scheduler is deliberately
+//! re-tuned), regenerate the golden file with:
+//!
+//! ```text
+//! cargo test -p rsched-bench --test golden_table1 -- --ignored regenerate
+//! ```
+//!
+//! and commit the updated CSV together with the change that explains it.
+
+use std::path::PathBuf;
+
+/// Parameters pinned for the golden run: small enough for CI, large enough
+/// that every `(k, m)` cell shows non-trivial waste.
+const NS: &[usize] = &[300];
+const MS: &[usize] = &[900, 3_000];
+const KS: &[usize] = &[4, 8, 16];
+const REPS: usize = 3;
+const SEED: u64 = 42;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden/table1_small.csv")
+}
+
+#[test]
+fn table1_matches_golden_file() {
+    let fresh = rsched_bench::table1::golden_csv(NS, MS, KS, REPS, SEED);
+    let committed =
+        std::fs::read_to_string(golden_path()).expect("golden/table1_small.csv must be committed");
+    assert_eq!(
+        fresh, committed,
+        "Table 1 waste numbers drifted from the golden file. If intended, \
+         regenerate with `cargo test -p rsched-bench --test golden_table1 -- \
+         --ignored regenerate` and commit the diff."
+    );
+}
+
+/// Rewrites the golden file; run explicitly after an intended change.
+#[test]
+#[ignore = "writes the golden file; run on intended waste changes only"]
+fn regenerate() {
+    let fresh = rsched_bench::table1::golden_csv(NS, MS, KS, REPS, SEED);
+    std::fs::write(golden_path(), fresh).expect("write golden file");
+}

@@ -326,6 +326,48 @@ mod tests {
     }
 
     #[test]
+    fn batched_concurrent_matches_greedy_on_every_scheduler() {
+        use rsched_queues::concurrent::{BulkMultiQueue, LockFreeMultiQueue, SprayList};
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = gen::gnm(400, 2400, &mut rng);
+        let pi = Permutation::random(400, &mut rng);
+        let expected = greedy_mis(&g, &pi);
+        for threads in [1usize, 4] {
+            for batch in [1usize, 8, 32] {
+                let alg = ConcurrentMis::new(&g, &pi);
+                let sched: MultiQueue<TaskId> = MultiQueue::for_threads(threads);
+                crate::framework::fill_scheduler(&sched, &pi);
+                let stats =
+                    crate::framework::run_concurrent_batched(&alg, &pi, &sched, threads, batch);
+                assert_eq!(alg.into_output(), expected, "multiqueue t={threads} b={batch}");
+                assert_eq!(stats.processed + stats.obsolete, stats.total_pops - stats.wasted);
+
+                let alg = ConcurrentMis::new(&g, &pi);
+                let sched: BulkMultiQueue<TaskId> = BulkMultiQueue::prefilled_for_threads(
+                    threads,
+                    (0..400u32).map(|v| (pi.label(v) as u64, v)),
+                );
+                let _ = crate::framework::run_concurrent_batched(&alg, &pi, &sched, threads, batch);
+                assert_eq!(alg.into_output(), expected, "bulk t={threads} b={batch}");
+
+                let alg = ConcurrentMis::new(&g, &pi);
+                let sched: LockFreeMultiQueue<TaskId> = LockFreeMultiQueue::prefilled(
+                    4 * threads,
+                    (0..400u32).map(|v| (pi.label(v) as u64, v)),
+                );
+                let _ = crate::framework::run_concurrent_batched(&alg, &pi, &sched, threads, batch);
+                assert_eq!(alg.into_output(), expected, "lfmq t={threads} b={batch}");
+
+                let alg = ConcurrentMis::new(&g, &pi);
+                let sched: SprayList<TaskId> = SprayList::new(threads);
+                crate::framework::fill_scheduler(&sched, &pi);
+                let _ = crate::framework::run_concurrent_batched(&alg, &pi, &sched, threads, batch);
+                assert_eq!(alg.into_output(), expected, "spray t={threads} b={batch}");
+            }
+        }
+    }
+
+    #[test]
     fn exact_concurrent_matches_greedy() {
         let mut rng = StdRng::seed_from_u64(12);
         let g = gen::gnm(400, 2000, &mut rng);

@@ -10,7 +10,14 @@ use rsched_queues::ConcurrentScheduler;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Loads every task into `sched` with its permutation label as priority.
+/// Chunk size used by [`fill_scheduler`]'s bulk load: large enough to
+/// amortize per-batch synchronization, small enough that the staging buffer
+/// stays cache-resident.
+const FILL_CHUNK: usize = 1024;
+
+/// Loads every task into `sched` with its permutation label as priority,
+/// bulk-loading through [`ConcurrentScheduler::insert_batch`] in chunks of
+/// [`FILL_CHUNK`].
 ///
 /// Schedulers with a bulk-load constructor (e.g.
 /// `LockFreeMultiQueue::prefilled`) can be filled at construction instead;
@@ -20,8 +27,16 @@ pub fn fill_scheduler<S>(sched: &S, pi: &Permutation)
 where
     S: ConcurrentScheduler<TaskId>,
 {
+    let mut buf: Vec<(u64, TaskId)> = Vec::with_capacity(FILL_CHUNK.min(pi.len()));
     for v in 0..pi.len() as u32 {
-        sched.insert(pi.label(v) as u64, v);
+        buf.push((pi.label(v) as u64, v));
+        if buf.len() == FILL_CHUNK {
+            sched.insert_batch(&buf);
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        sched.insert_batch(&buf);
     }
 }
 
@@ -42,7 +57,44 @@ where
     A: ConcurrentAlgorithm,
     S: ConcurrentScheduler<TaskId>,
 {
+    run_concurrent_batched(alg, pi, sched, threads, 1)
+}
+
+/// [`run_concurrent`] with a worker batch size: workers pop a batch of up
+/// to `batch_size` tasks, process them locally, and re-insert every blocked
+/// task of the batch in one [`ConcurrentScheduler::insert_batch`].
+///
+/// `batch_size == 1` takes the exact scalar `pop`/`insert` path of the
+/// original executor, so it reproduces its behavior bit-for-bit on the same
+/// seed. Larger batches amortize scheduler synchronization at the price of
+/// extra relaxation: a batch is popped in full before any of its tasks is
+/// processed, so a `k`-relaxed scheduler drives the algorithm like an
+/// `O(k·batch_size)`-relaxed one and Theorem 2's waste bound degrades
+/// accordingly (gracefully — waste stays `poly(k·batch_size)`, independent
+/// of `n`).
+///
+/// Counter semantics across batch sizes: `total_pops` counts popped
+/// *elements*; `empty_pops` counts empty *observations* — a `pop_batch`
+/// that returns 0 is one empty observation regardless of `batch_size`, so
+/// `empty_pops` stays comparable across batch sizes.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, `batch_size == 0`, or
+/// `pi.len() != alg.num_tasks()`.
+pub fn run_concurrent_batched<A, S>(
+    alg: &A,
+    pi: &Permutation,
+    sched: &S,
+    threads: usize,
+    batch_size: usize,
+) -> ConcurrentStats
+where
+    A: ConcurrentAlgorithm,
+    S: ConcurrentScheduler<TaskId>,
+{
     assert!(threads >= 1, "need at least one worker");
+    assert!(batch_size >= 1, "need a positive batch size");
     assert_eq!(alg.num_tasks(), pi.len(), "permutation size must match task count");
     let pops = AtomicU64::new(0);
     let processed = AtomicU64::new(0);
@@ -57,23 +109,58 @@ where
                 let (mut l_pops, mut l_proc, mut l_waste, mut l_obs, mut l_empty) =
                     (0u64, 0u64, 0u64, 0u64, 0u64);
                 let backoff = Backoff::new();
-                while alg.remaining() > 0 {
-                    match sched.pop() {
-                        Some((priority, v)) => {
-                            backoff.reset();
+                if batch_size == 1 {
+                    // Scalar path, bit-for-bit the pre-batching executor.
+                    while alg.remaining() > 0 {
+                        match sched.pop() {
+                            Some((priority, v)) => {
+                                backoff.reset();
+                                l_pops += 1;
+                                match alg.try_process(v) {
+                                    TaskOutcome::Processed => l_proc += 1,
+                                    TaskOutcome::Blocked => {
+                                        l_waste += 1;
+                                        sched.insert(priority, v);
+                                    }
+                                    TaskOutcome::Obsolete => l_obs += 1,
+                                }
+                            }
+                            None => {
+                                l_empty += 1;
+                                backoff.snooze();
+                            }
+                        }
+                    }
+                } else {
+                    let mut batch: Vec<(u64, TaskId)> = Vec::with_capacity(batch_size);
+                    let mut blocked: Vec<(u64, TaskId)> = Vec::with_capacity(batch_size);
+                    while alg.remaining() > 0 {
+                        batch.clear();
+                        if sched.pop_batch(&mut batch, batch_size) == 0 {
+                            // One empty *observation*, not `batch_size` of
+                            // them: keeps empty_pops comparable across
+                            // batch sizes.
+                            l_empty += 1;
+                            backoff.snooze();
+                            continue;
+                        }
+                        backoff.reset();
+                        for &(priority, v) in &batch {
                             l_pops += 1;
                             match alg.try_process(v) {
                                 TaskOutcome::Processed => l_proc += 1,
                                 TaskOutcome::Blocked => {
                                     l_waste += 1;
-                                    sched.insert(priority, v);
+                                    blocked.push((priority, v));
                                 }
                                 TaskOutcome::Obsolete => l_obs += 1,
                             }
                         }
-                        None => {
-                            l_empty += 1;
-                            backoff.snooze();
+                        if !blocked.is_empty() {
+                            // All failed deletes of the batch go back in one
+                            // synchronization round-trip.
+                            sched.insert_batch(&blocked);
+                            blocked.clear();
                         }
                     }
                 }

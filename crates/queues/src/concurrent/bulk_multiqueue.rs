@@ -11,7 +11,7 @@
 //! the smaller of the run head and the overflow top.
 
 use crate::rng;
-use crate::{ConcurrentScheduler, Entry};
+use crate::{ConcurrentScheduler, Entry, BATCH_SCATTER_RUN};
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
@@ -149,6 +149,104 @@ impl<T: Copy + Send> ConcurrentScheduler<T> for BulkMultiQueue<T> {
                 return;
             }
         }
+    }
+
+    fn insert_batch(&self, entries: &[(u64, T)])
+    where
+        T: Clone,
+    {
+        if entries.is_empty() {
+            return;
+        }
+        // One sequence-number claim per batch; each run of up to
+        // BATCH_SCATTER_RUN entries goes to one overflow heap under one lock.
+        let mut seq = self.seq.fetch_add(entries.len() as u64, Ordering::Relaxed);
+        let q = self.queues.len();
+        for run in entries.chunks(BATCH_SCATTER_RUN) {
+            let mut guard = loop {
+                if let Some(g) = self.queues[rng::next_index(q)].try_lock() {
+                    break g;
+                }
+            };
+            for &(priority, item) in run {
+                guard.overflow.push(Reverse(Entry::new(priority, seq, item)));
+                seq += 1;
+            }
+            // Count while still holding the guard, as the scalar insert
+            // does: an entry must never be poppable before it is counted,
+            // or concurrent pops can drive `len` below zero.
+            self.len.fetch_add(run.len(), Ordering::AcqRel);
+            drop(guard);
+        }
+    }
+
+    fn pop_batch(&self, out: &mut Vec<(u64, T)>, max: usize) -> usize {
+        if max == 0 || self.len.load(Ordering::Acquire) == 0 {
+            return 0;
+        }
+        let q = self.queues.len();
+        // Two-choice selection as in `pop`; the winning run/overflow pair is
+        // drained for the whole batch under its single lock acquisition.
+        for _ in 0..16 {
+            let i = rng::next_index(q);
+            let j = rng::next_index(q);
+            let gi = self.queues[i].try_lock();
+            let gj = if j != i { self.queues[j].try_lock() } else { None };
+            let (mut guard, other) = match (gi, gj) {
+                (Some(a), Some(b)) => match (a.peek_key(), b.peek_key()) {
+                    (Some(x), Some(y)) => {
+                        if x <= y {
+                            (a, Some(b))
+                        } else {
+                            (b, Some(a))
+                        }
+                    }
+                    (Some(_), None) => (a, Some(b)),
+                    (None, Some(_)) => (b, Some(a)),
+                    (None, None) => continue,
+                },
+                (Some(a), None) => (a, None),
+                (None, Some(b)) => (b, None),
+                (None, None) => continue,
+            };
+            drop(other);
+            let mut got = 0usize;
+            while got < max {
+                match guard.pop() {
+                    Some(e) => {
+                        out.push((e.priority, e.item));
+                        got += 1;
+                    }
+                    None => break,
+                }
+            }
+            if got > 0 {
+                self.len.fetch_sub(got, Ordering::AcqRel);
+                return got;
+            }
+        }
+        // Fallback: blocking scan, draining until the batch is full or every
+        // queue was observed empty.
+        let mut got = 0usize;
+        for i in 0..q {
+            let mut guard = self.queues[i].lock();
+            while got < max {
+                match guard.pop() {
+                    Some(e) => {
+                        out.push((e.priority, e.item));
+                        got += 1;
+                    }
+                    None => break,
+                }
+            }
+            if got == max {
+                break;
+            }
+        }
+        if got > 0 {
+            self.len.fetch_sub(got, Ordering::AcqRel);
+        }
+        got
     }
 
     fn pop(&self) -> Option<(u64, T)> {

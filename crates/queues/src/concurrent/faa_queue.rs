@@ -58,6 +58,26 @@ impl<T: Copy + Send> FaaArrayQueue<T> {
         self.entries.get(i).copied()
     }
 
+    /// Claims up to `max` consecutive entries with a **single**
+    /// `fetch_add(max)` and appends them to `out`, returning how many were
+    /// claimed (0 when the queue is drained or `max == 0`).
+    ///
+    /// The claimed range is contiguous, so batched pops preserve the exact
+    /// global priority order across threads *per batch*; interleaving
+    /// between threads happens at batch rather than element granularity.
+    pub fn pop_batch(&self, out: &mut Vec<(u64, T)>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let start = self.head.fetch_add(max, Ordering::Relaxed);
+        let end = self.entries.len().min(start.saturating_add(max));
+        if start >= end {
+            return 0;
+        }
+        out.extend_from_slice(&self.entries[start..end]);
+        end - start
+    }
+
     /// Number of entries not yet claimed (snapshot).
     pub fn remaining(&self) -> usize {
         self.entries.len().saturating_sub(self.head.load(Ordering::Relaxed))

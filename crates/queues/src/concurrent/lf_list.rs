@@ -100,7 +100,12 @@ impl<T: Send> HarrisList<T> {
     /// Callers must ensure key uniqueness (the MultiQueue wrapper assigns a
     /// global sequence number).
     pub fn insert(&self, priority: u64, seq: u64, item: T) {
-        let guard = &epoch::pin();
+        self.insert_with(priority, seq, item, &epoch::pin());
+    }
+
+    /// [`HarrisList::insert`] under a caller-provided epoch guard, so a
+    /// batch of inserts can share one pin.
+    pub fn insert_with(&self, priority: u64, seq: u64, item: T, guard: &Guard) {
         let key = (priority, seq);
         let mut node =
             Owned::new(Node { key, item: ManuallyDrop::new(item), next: Atomic::null() });
@@ -117,7 +122,12 @@ impl<T: Send> HarrisList<T> {
     /// Removes and returns the element with the smallest key, or `None` if
     /// the list was observed empty.
     pub fn pop_min(&self) -> Option<(u64, T)> {
-        let guard = &epoch::pin();
+        self.pop_min_with(&epoch::pin())
+    }
+
+    /// [`HarrisList::pop_min`] under a caller-provided epoch guard, so a
+    /// batch of pops can share one pin.
+    pub fn pop_min_with(&self, guard: &Guard) -> Option<(u64, T)> {
         'retry: loop {
             let prev = &self.head;
             let mut cur = prev.load(Acquire, guard);
@@ -163,7 +173,11 @@ impl<T: Send> HarrisList<T> {
     ///
     /// A racy snapshot, used by the MultiQueue's two-choice comparison.
     pub fn peek_min(&self) -> Option<u64> {
-        let guard = &epoch::pin();
+        self.peek_min_with(&epoch::pin())
+    }
+
+    /// [`HarrisList::peek_min`] under a caller-provided epoch guard.
+    pub fn peek_min_with(&self, guard: &Guard) -> Option<u64> {
         let mut cur = self.head.load(Acquire, guard);
         while let Some(r) = unsafe { cur.as_ref() } {
             let next = r.next.load(Acquire, guard);

@@ -7,7 +7,8 @@
 
 use crate::concurrent::HarrisList;
 use crate::rng;
-use crate::ConcurrentScheduler;
+use crate::{ConcurrentScheduler, BATCH_SCATTER_RUN};
+use crossbeam::epoch;
 use crossbeam::utils::CachePadded;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -106,6 +107,93 @@ impl<T: Send> ConcurrentScheduler<T> for LockFreeMultiQueue<T> {
         let i = rng::next_index(self.lists.len());
         self.lists[i].insert(priority, seq, item);
         self.len.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn insert_batch(&self, entries: &[(u64, T)])
+    where
+        T: Clone,
+    {
+        if entries.is_empty() {
+            return;
+        }
+        // One epoch pin and one sequence-number claim for the whole batch;
+        // each run of up to BATCH_SCATTER_RUN entries goes to one random
+        // list (the sorted walk restarts per entry, but runs are short and
+        // the framework's runtime batches are the poly(k) failed deletes).
+        let guard = &epoch::pin();
+        let mut seq = self.seq.fetch_add(entries.len() as u64, Ordering::Relaxed);
+        let q = self.lists.len();
+        for run in entries.chunks(BATCH_SCATTER_RUN) {
+            let i = rng::next_index(q);
+            for (priority, item) in run {
+                self.lists[i].insert_with(*priority, seq, item.clone(), guard);
+                seq += 1;
+            }
+            self.len.fetch_add(run.len(), Ordering::AcqRel);
+        }
+    }
+
+    fn pop_batch(&self, out: &mut Vec<(u64, T)>, max: usize) -> usize {
+        if max == 0 || self.len.load(Ordering::Acquire) == 0 {
+            return 0;
+        }
+        // One epoch pin for the whole batch; two-choice selection as in
+        // `pop`, then the winning list is drained head-first.
+        let guard = &epoch::pin();
+        let q = self.lists.len();
+        for _ in 0..16 {
+            let i = rng::next_index(q);
+            let j = rng::next_index(q);
+            let ki = self.lists[i].peek_min_with(guard);
+            let kj = self.lists[j].peek_min_with(guard);
+            let best = match (ki, kj) {
+                (Some(a), Some(b)) => {
+                    if a <= b {
+                        i
+                    } else {
+                        j
+                    }
+                }
+                (Some(_), None) => i,
+                (None, Some(_)) => j,
+                (None, None) => continue,
+            };
+            let mut got = 0usize;
+            while got < max {
+                match self.lists[best].pop_min_with(guard) {
+                    Some(e) => {
+                        out.push(e);
+                        got += 1;
+                    }
+                    None => break,
+                }
+            }
+            if got > 0 {
+                self.len.fetch_sub(got, Ordering::AcqRel);
+                return got;
+            }
+        }
+        // Fallback scan, draining until the batch is full or every list was
+        // observed empty.
+        let mut got = 0usize;
+        for list in self.lists.iter() {
+            while got < max {
+                match list.pop_min_with(guard) {
+                    Some(e) => {
+                        out.push(e);
+                        got += 1;
+                    }
+                    None => break,
+                }
+            }
+            if got == max {
+                break;
+            }
+        }
+        if got > 0 {
+            self.len.fetch_sub(got, Ordering::AcqRel);
+        }
+        got
     }
 
     fn pop(&self) -> Option<(u64, T)> {

@@ -1,7 +1,7 @@
 //! The lock-based MultiQueue relaxed scheduler \[21\].
 
 use crate::rng;
-use crate::{ConcurrentScheduler, Entry};
+use crate::{ConcurrentScheduler, Entry, BATCH_SCATTER_RUN};
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
@@ -92,6 +92,108 @@ impl<T: Send> ConcurrentScheduler<T> for MultiQueue<T> {
     fn insert(&self, priority: u64, item: T) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         self.push_entry(Entry::new(priority, seq, item));
+    }
+
+    fn insert_batch(&self, entries: &[(u64, T)])
+    where
+        T: Clone,
+    {
+        if entries.is_empty() {
+            return;
+        }
+        // One sequence-number claim for the whole batch; each run of up to
+        // BATCH_SCATTER_RUN entries takes one lock on one random heap.
+        let mut seq = self.seq.fetch_add(entries.len() as u64, Ordering::Relaxed);
+        let q = self.queues.len();
+        for run in entries.chunks(BATCH_SCATTER_RUN) {
+            let mut heap = loop {
+                if let Some(h) = self.queues[rng::next_index(q)].try_lock() {
+                    break h;
+                }
+            };
+            for (priority, item) in run {
+                heap.push(Reverse(Entry::new(*priority, seq, item.clone())));
+                seq += 1;
+            }
+            // Count while still holding the guard, as the scalar insert
+            // does: an entry must never be poppable before it is counted,
+            // or concurrent pops can drive `len` below zero.
+            self.len.fetch_add(run.len(), Ordering::AcqRel);
+            drop(heap);
+        }
+    }
+
+    fn pop_batch(&self, out: &mut Vec<(u64, T)>, max: usize) -> usize {
+        if max == 0 || self.len.load(Ordering::Acquire) == 0 {
+            return 0;
+        }
+        let q = self.queues.len();
+        // Power-of-two-choices as in `pop`, but the winning heap is drained
+        // for the whole batch under its single lock acquisition.
+        for _ in 0..16 {
+            let i = rng::next_index(q);
+            let j = rng::next_index(q);
+            let gi = self.queues[i].try_lock();
+            let gj = if j != i { self.queues[j].try_lock() } else { None };
+            let (mut guard, other) = match (gi, gj) {
+                (Some(a), Some(b)) => {
+                    let ka = a.peek().map(|Reverse(e)| e.key());
+                    let kb = b.peek().map(|Reverse(e)| e.key());
+                    match (ka, kb) {
+                        (Some(x), Some(y)) => {
+                            if x <= y {
+                                (a, Some(b))
+                            } else {
+                                (b, Some(a))
+                            }
+                        }
+                        (Some(_), None) => (a, Some(b)),
+                        (None, Some(_)) => (b, Some(a)),
+                        (None, None) => continue,
+                    }
+                }
+                (Some(a), None) => (a, None),
+                (None, Some(b)) => (b, None),
+                (None, None) => continue,
+            };
+            drop(other);
+            let mut got = 0usize;
+            while got < max {
+                match guard.pop() {
+                    Some(Reverse(e)) => {
+                        out.push((e.priority, e.item));
+                        got += 1;
+                    }
+                    None => break,
+                }
+            }
+            if got > 0 {
+                self.len.fetch_sub(got, Ordering::AcqRel);
+                return got;
+            }
+        }
+        // Fallback: scan every queue with a blocking lock, draining until
+        // the batch is full or every queue was observed empty.
+        let mut got = 0usize;
+        for i in 0..q {
+            let mut guard = self.queues[i].lock();
+            while got < max {
+                match guard.pop() {
+                    Some(Reverse(e)) => {
+                        out.push((e.priority, e.item));
+                        got += 1;
+                    }
+                    None => break,
+                }
+            }
+            if got == max {
+                break;
+            }
+        }
+        if got > 0 {
+            self.len.fetch_sub(got, Ordering::AcqRel);
+        }
+        got
     }
 
     fn pop(&self) -> Option<(u64, T)> {

@@ -306,6 +306,60 @@ impl<T: Send> SprayList<T> {
             // All candidates taken by other threads; spray again.
         }
     }
+
+    /// One spray descent harvesting up to `max` live nodes from the landing
+    /// point forward — the batch analogue of [`SprayList::pop_spray`]: one
+    /// random descent and one cleanup `find` are amortized over the whole
+    /// batch. Harvested nodes are *consecutive* live nodes, so a batch of
+    /// `b` behaves like one spray with `b`-fold relaxation.
+    fn pop_spray_batch(&self, out: &mut Vec<(u64, T)>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        loop {
+            let mut cur = self.spray();
+            if cur.is_null() {
+                cur = self.first_live();
+                if cur.is_null() {
+                    return 0; // observed no live element
+                }
+            }
+            // Walk forward claiming live nodes; the budget covers the batch
+            // plus the same dead-node allowance as the scalar walk.
+            let mut got = 0usize;
+            let mut hops = 0usize;
+            let mut last_key = None;
+            while !cur.is_null() && hops < 64 + max && got < max {
+                let bottom = unsafe { node_ref(cur).tower[0].load(Acquire) };
+                last_key = Some(unsafe { node_ref(cur).key });
+                if bottom & DELETED == 0
+                    && unsafe { &node_ref(cur).tower[0] }
+                        .compare_exchange(bottom, bottom | DELETED, AcqRel, Acquire)
+                        .is_ok()
+                {
+                    // SAFETY: we won the mark; we are the unique owner.
+                    let item = unsafe { ptr::read(&*node_ref(cur).item) };
+                    let key = unsafe { node_ref(cur).key };
+                    out.push((key.0, item));
+                    got += 1;
+                }
+                cur = untag::<T>(unsafe { node_ref(cur).tower[0].load(Acquire) });
+                hops += 1;
+            }
+            // One physical-cleanup traversal for the whole harvest (the
+            // scalar path pays one per pop).
+            if let Some(k) = last_key {
+                let mut preds = [ptr::null_mut(); MAX_HEIGHT];
+                let mut succs = [ptr::null_mut(); MAX_HEIGHT];
+                self.find(k, &mut preds, &mut succs);
+            }
+            if got > 0 {
+                self.len.fetch_sub(got, AcqRel);
+                return got;
+            }
+            // All candidates taken by other threads; spray again.
+        }
+    }
 }
 
 impl<T: Send> ConcurrentScheduler<T> for SprayList<T> {
@@ -316,6 +370,25 @@ impl<T: Send> ConcurrentScheduler<T> for SprayList<T> {
 
     fn pop(&self) -> Option<(u64, T)> {
         self.pop_spray()
+    }
+
+    fn insert_batch(&self, entries: &[(u64, T)])
+    where
+        T: Clone,
+    {
+        if entries.is_empty() {
+            return;
+        }
+        // One sequence-range claim for the whole batch; the skiplist walks
+        // themselves cannot be shared between inserts.
+        let base = self.seq.fetch_add(entries.len() as u64, Relaxed);
+        for (off, (priority, item)) in entries.iter().enumerate() {
+            self.insert_node(*priority, base + off as u64, item.clone());
+        }
+    }
+
+    fn pop_batch(&self, out: &mut Vec<(u64, T)>, max: usize) -> usize {
+        self.pop_spray_batch(out, max)
     }
 }
 

@@ -48,6 +48,13 @@ pub(crate) mod rng;
 pub use entry::Entry;
 pub use indexed_set::IndexedSet;
 
+/// Longest contiguous run of a batch that `insert_batch` overrides place in
+/// a single internal queue. Small batches (≤ this) pay exactly one lock /
+/// pin; huge bulk loads (e.g. the framework's initial fill) still scatter
+/// across internal queues in runs of this length, so no single queue
+/// swallows the whole load.
+pub(crate) const BATCH_SCATTER_RUN: usize = 64;
+
 /// A sequential priority scheduler: the interface of the paper's `Q`.
 ///
 /// `pop` is the paper's `ApproxGetMin()`: implementations may return an
@@ -71,6 +78,42 @@ pub trait PriorityScheduler<T> {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Inserts every entry of `entries` (a bulk `insert`).
+    ///
+    /// The default loops over [`PriorityScheduler::insert`] in slice order,
+    /// so with respect to tie-breaking and RNG consumption it is
+    /// operation-for-operation identical to inserting one at a time.
+    fn insert_batch(&mut self, entries: &[(u64, T)])
+    where
+        T: Clone,
+    {
+        for (priority, item) in entries {
+            self.insert(*priority, item.clone());
+        }
+    }
+
+    /// Pops up to `max` elements into `out`, returning how many were popped.
+    ///
+    /// Returns 0 iff the scheduler is empty or `max == 0`; popped elements
+    /// are appended to `out` in pop order. The default loops over
+    /// [`PriorityScheduler::pop`]. Batching relaxes further: a batch of `b`
+    /// elements is popped before any of them is processed, so a `k`-relaxed
+    /// scheduler behaves like an `O(k·b)`-relaxed one (see DESIGN.md,
+    /// "Batching semantics").
+    fn pop_batch(&mut self, out: &mut Vec<(u64, T)>, max: usize) -> usize {
+        let mut got = 0usize;
+        while got < max {
+            match self.pop() {
+                Some(e) => {
+                    out.push(e);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
 }
 
 impl<T> PriorityScheduler<T> for Box<dyn PriorityScheduler<T> + '_> {
@@ -85,6 +128,15 @@ impl<T> PriorityScheduler<T> for Box<dyn PriorityScheduler<T> + '_> {
     }
     fn is_empty(&self) -> bool {
         (**self).is_empty()
+    }
+    fn insert_batch(&mut self, entries: &[(u64, T)])
+    where
+        T: Clone,
+    {
+        (**self).insert_batch(entries)
+    }
+    fn pop_batch(&mut self, out: &mut Vec<(u64, T)>, max: usize) -> usize {
+        (**self).pop_batch(out, max)
     }
 }
 
@@ -101,6 +153,45 @@ pub trait ConcurrentScheduler<T: Send>: Send + Sync {
     /// Removes and returns an element, approximately the minimum, or `None`
     /// if the scheduler appears empty.
     fn pop(&self) -> Option<(u64, T)>;
+
+    /// Inserts every entry of `entries` (a bulk `insert`).
+    ///
+    /// The default loops over [`ConcurrentScheduler::insert`]; concrete
+    /// schedulers override it to amortize per-operation synchronization
+    /// (one lock acquisition, epoch pin, or fetch-and-add per batch instead
+    /// of per element). Overrides may place a batch less uniformly than
+    /// element-wise insertion does — batching trades relaxation for
+    /// synchronization, see DESIGN.md "Batching semantics".
+    fn insert_batch(&self, entries: &[(u64, T)])
+    where
+        T: Clone,
+    {
+        for (priority, item) in entries {
+            self.insert(*priority, item.clone());
+        }
+    }
+
+    /// Pops up to `max` elements into `out`, returning how many were popped.
+    ///
+    /// Popped elements are appended to `out`. Returning 0 means the
+    /// scheduler was *observed* empty (transient, exactly as for
+    /// [`ConcurrentScheduler::pop`]) or `max == 0`. A partial batch
+    /// (`0 < returned < max`) is normal and carries no emptiness signal:
+    /// overrides stop at internal-structure boundaries rather than paying
+    /// another synchronization round-trip.
+    fn pop_batch(&self, out: &mut Vec<(u64, T)>, max: usize) -> usize {
+        let mut got = 0usize;
+        while got < max {
+            match self.pop() {
+                Some(e) => {
+                    out.push(e);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
 }
 
 #[cfg(test)]
