@@ -266,11 +266,36 @@ fn bench_batched_vs_scalar(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_lf_multiqueue_contention(c: &mut Criterion) {
+    // The epoch-shim scaling measurement (ROADMAP "Epoch shim hardening"):
+    // every pop_batch pins the epoch once, so this curve is dominated by the
+    // reclamation hot path once threads collide. Workers drain a prefilled
+    // queue through `pop_batch`; a worker stops when a batch comes back
+    // empty (no inserts run, so an empty observation means the lists it can
+    // reach were drained).
+    let mut group = c.benchmark_group("lf_multiqueue_contention");
+    group.sample_size(10);
+    for threads in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let q = LockFreeMultiQueue::prefilled(4 * t, (0..N).map(|p| (p, p as u32)));
+                std::thread::scope(|s| {
+                    for _ in 0..t {
+                        s.spawn(|| black_box(drain_batched(&q)));
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sequential,
     bench_concurrent_single_thread,
     bench_multiqueue_scaling,
-    bench_batched_vs_scalar
+    bench_batched_vs_scalar,
+    bench_lf_multiqueue_contention
 );
 criterion_main!(benches);

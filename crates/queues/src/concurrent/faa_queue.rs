@@ -69,6 +69,14 @@ impl<T: Copy + Send> FaaArrayQueue<T> {
         if max == 0 {
             return 0;
         }
+        // Drained fast path: without this check, batched workers spinning on
+        // an empty queue would `fetch_add(max)` forever, inflating `head`
+        // without bound (and in principle wrapping `usize` under a long
+        // spin). With it, each thread can overshoot at most once after the
+        // queue drains, so `head` stays ≤ `capacity + threads · max`.
+        if self.head.load(Ordering::Relaxed) >= self.entries.len() {
+            return 0;
+        }
         let start = self.head.fetch_add(max, Ordering::Relaxed);
         let end = self.entries.len().min(start.saturating_add(max));
         if start >= end {
@@ -143,6 +151,46 @@ mod tests {
             }
         });
         assert_eq!(seen.lock().unwrap().len(), n as usize);
+    }
+
+    #[test]
+    fn drained_pop_batch_leaves_head_bounded() {
+        // Regression: pop_batch used to fetch_add(max) unconditionally, so
+        // batched workers spinning on an empty queue inflated `head` without
+        // bound. Hammer a drained queue and assert the documented bound
+        // `head ≤ capacity + threads · max`.
+        const THREADS: usize = 4;
+        const MAX: usize = 64;
+        const SPINS: usize = 10_000;
+        let q = FaaArrayQueue::from_sorted((0..100u64).map(|p| (p, p as u32)).collect());
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let q = &q;
+                s.spawn(move || {
+                    let mut buf = Vec::new();
+                    let mut got = 0usize;
+                    for _ in 0..SPINS {
+                        got += q.pop_batch(&mut buf, MAX);
+                    }
+                    got
+                });
+            }
+        });
+        assert_eq!(q.remaining(), 0);
+        let head = q.head.load(Ordering::Relaxed);
+        assert!(
+            head <= q.capacity() + THREADS * MAX,
+            "head {head} exceeds capacity {} + {THREADS}*{MAX}",
+            q.capacity()
+        );
+        // And a single-threaded spin on an already-drained queue must not
+        // move `head` at all.
+        let before = q.head.load(Ordering::Relaxed);
+        let mut buf = Vec::new();
+        for _ in 0..SPINS {
+            assert_eq!(q.pop_batch(&mut buf, MAX), 0);
+        }
+        assert_eq!(q.head.load(Ordering::Relaxed), before);
     }
 
     #[test]

@@ -5,7 +5,12 @@
 //! block. Keys are `(priority, seq)` pairs (unique by construction), nodes
 //! are logically deleted by tagging their `next` pointer and physically
 //! unlinked by any later traversal, and memory is reclaimed through
-//! `crossbeam::epoch`.
+//! `crossbeam::epoch` (nodes are only `defer_destroy`ed after the unlink
+//! CAS, satisfying the epoch contract that deferred objects are
+//! unreachable to later pins). The `*_with(guard)` variants let callers
+//! amortize one pin over a batch; batches long enough to stall global
+//! reclamation should `Guard::repin` between runs, as
+//! `LockFreeMultiQueue::insert_batch` does.
 
 use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
 use std::fmt;

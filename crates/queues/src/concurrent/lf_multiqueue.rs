@@ -120,13 +120,19 @@ impl<T: Send> ConcurrentScheduler<T> for LockFreeMultiQueue<T> {
         // each run of up to BATCH_SCATTER_RUN entries goes to one random
         // list (the sorted walk restarts per entry, but runs are short and
         // the framework's runtime batches are the poly(k) failed deletes).
-        let guard = &epoch::pin();
+        // Repinning between runs lets the global epoch advance past this
+        // thread mid-batch, so an arbitrarily large insert_batch never
+        // stalls other threads' reclamation.
+        let mut guard = epoch::pin();
         let mut seq = self.seq.fetch_add(entries.len() as u64, Ordering::Relaxed);
         let q = self.lists.len();
-        for run in entries.chunks(BATCH_SCATTER_RUN) {
+        for (chunk, run) in entries.chunks(BATCH_SCATTER_RUN).enumerate() {
+            if chunk > 0 {
+                guard.repin();
+            }
             let i = rng::next_index(q);
             for (priority, item) in run {
-                self.lists[i].insert_with(*priority, seq, item.clone(), guard);
+                self.lists[i].insert_with(*priority, seq, item.clone(), &guard);
                 seq += 1;
             }
             self.len.fetch_add(run.len(), Ordering::AcqRel);

@@ -1,0 +1,90 @@
+//! Multi-threaded reclamation stress test for the epoch shim under its real
+//! consumer: 8 threads hammer one `HarrisList` with an insert/pop loop (every
+//! pop defers node destruction through the per-thread garbage bags), then the
+//! survivors are drained. A per-payload drop cell proves every payload is
+//! dropped **exactly once** — a double-free increments a cell twice, a leak
+//! leaves one at zero.
+//!
+//! CI runs this in release mode (in addition to the debug workspace pass),
+//! where the tighter instruction stream makes reclamation races most likely.
+
+use rsched_queues::concurrent::HarrisList;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 3_000;
+const PREFILL: usize = 1_000;
+
+/// A payload that records its drop in a caller-owned cell.
+struct Probe<'a> {
+    cell: &'a AtomicUsize,
+}
+
+impl Drop for Probe<'_> {
+    fn drop(&mut self) {
+        self.cell.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn eight_thread_insert_pop_defer_drops_exactly_once() {
+    let total = PREFILL + THREADS * OPS_PER_THREAD;
+    let cells: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+    let mut prefill: Vec<(u64, u64, Probe<'_>)> =
+        (0..PREFILL).map(|i| (i as u64 % 97, i as u64, Probe { cell: &cells[i] })).collect();
+    prefill.sort_by_key(|&(p, s, _)| (p, s));
+    let list: HarrisList<Probe<'_>> = HarrisList::from_sorted(prefill);
+    let popped = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let list = &list;
+            let cells = &cells;
+            let popped = &popped;
+            s.spawn(move || {
+                let mut local_pops = 0usize;
+                for i in 0..OPS_PER_THREAD {
+                    let idx = PREFILL + t * OPS_PER_THREAD + i;
+                    // Colliding priorities force CAS contention at the head;
+                    // the sequence number keeps keys unique.
+                    let priority = (idx as u64) % 97;
+                    let seq = idx as u64;
+                    list.insert(priority, seq, Probe { cell: &cells[idx] });
+                    // Pop as often as we insert so the list stays short and
+                    // every thread's bag keeps receiving deferred nodes.
+                    if let Some((_, probe)) = list.pop_min() {
+                        local_pops += 1;
+                        drop(probe);
+                    }
+                    // Periodically force a collection so reclamation runs
+                    // *during* the contention, not just at thread exit.
+                    if i % 512 == 511 {
+                        crossbeam::epoch::pin().flush();
+                    }
+                }
+                popped.fetch_add(local_pops, Ordering::SeqCst);
+            });
+        }
+    });
+
+    // Full drain after join: everything not popped concurrently comes out
+    // now, exactly once.
+    let mut drained = 0usize;
+    while let Some((_, probe)) = list.pop_min() {
+        drained += 1;
+        drop(probe);
+    }
+    assert!(list.is_empty(), "list must be fully drained");
+    assert_eq!(
+        popped.load(Ordering::SeqCst) + drained,
+        total,
+        "every inserted payload popped exactly once"
+    );
+    drop(list);
+
+    // Exactly-once destruction: a double-free would double-increment a
+    // cell, a leak (or lost payload) would leave one at zero.
+    for (i, cell) in cells.iter().enumerate() {
+        assert_eq!(cell.load(Ordering::SeqCst), 1, "payload {i} dropped wrong number of times");
+    }
+}

@@ -1,38 +1,92 @@
 //! Epoch-based memory reclamation, mirroring the `crossbeam-epoch` API
 //! surface used by the workspace's Harris list: [`Atomic`] tagged pointers,
 //! [`Owned`]/[`Shared`] ownership states, [`pin`]/[`Guard`] critical
-//! sections, deferred destruction, and [`unprotected`] for unshared access.
+//! sections, deferred destruction, [`Guard::flush`]/[`Guard::repin`], and
+//! [`unprotected`] for unshared access.
 //!
 //! # Scheme
 //!
-//! Classic three-epoch EBR. A global epoch counter advances only when every
-//! *pinned* participant has observed the current epoch; garbage deferred at
-//! epoch `e` is freed once the global epoch reaches `e + 2`, at which point
-//! every guard that could have held a reference (i.e. every guard pinned
-//! before the object was unlinked) has ended. This relies on the same
-//! contract as upstream `crossbeam::epoch`: callers must only
-//! [`Guard::defer_destroy`] objects that are already unreachable to threads
-//! that pin *after* the call.
+//! Classic epoch-based reclamation in the upstream `crossbeam-epoch` shape:
+//! all shared state on the defer/collect hot path is **thread-local**.
 //!
-//! Orderings are deliberately conservative (`SeqCst` on the epoch
-//! handshake): this shim optimises for obviously-correct over fast.
+//! * **Participants** are heap-allocated [`Local`] records linked into a
+//!   lock-free, append-only registry (a Treiber-style push list). Records
+//!   are never freed; a thread that exits marks its slot `FREE` and a later
+//!   thread reuses it, so the registry length is bounded by the peak number
+//!   of concurrently live threads. Registration happens once per thread and
+//!   the record is cached in a thread-local, so [`pin`] is a counter bump
+//!   plus one atomic store and one fence — no `Arc` clone, no lock.
+//! * **Garbage** deferred by [`Guard::defer_destroy`] goes into the pinning
+//!   thread's own bag, stamped with the global epoch observed at defer
+//!   time. It is freed by that same thread's later collections; only on
+//!   thread exit does a non-empty bag migrate to a shared orphan list
+//!   (drained opportunistically by any later collection). Defer and the
+//!   common-case collect therefore take **zero** shared-lock acquisitions.
+//! * **Epoch advancement is garbage-driven**: a collection only attempts to
+//!   advance the global epoch when it actually holds garbage that is too
+//!   young to free (or orphans exist); an empty collect never touches the
+//!   registry.
+//!
+//! # Epoch encoding and the pin handshake
+//!
+//! The global epoch is an even integer advancing by 2; a participant's
+//! `epoch` word is `global_epoch | 1` while pinned and an even value while
+//! not. Because the observed epoch and the pinned flag live in **one**
+//! word written by **one** store, a collector can never observe the
+//! "pinned but epoch not yet refreshed" window that a two-field handshake
+//! has: a participant is either visibly unpinned or visibly pinned at the
+//! epoch it actually observed.
+//!
+//! Orderings are Acquire/Release plus two paired `SeqCst` fences, argued as
+//! follows:
+//!
+//! * [`pin`] stores the pinned word and then issues the module's `SeqCst`
+//!   fence; [`try_advance`] issues its own `SeqCst` fence *before* scanning
+//!   the registry. In the total order of `SeqCst` fences, either the
+//!   pinning fence comes first — then the scan observes the pin and refuses
+//!   to advance past it — or the advancing fence comes first, in which case
+//!   the pinning thread's loads all happen after the unlinks that preceded
+//!   the advance, so it can no longer reach objects whose reclamation that
+//!   advance enabled. Either way a pinned thread never holds a reference to
+//!   garbage the collector considers expired.
+//! * A pinned participant at epoch `e` blocks advancement beyond `e + 2`
+//!   (the advance from `e + 2` to `e + 4` would require its word to read
+//!   `e + 2`). Hence, by coherence on the global-epoch cell, the stamp a
+//!   deferring thread records is **at most one step stale**: it re-reads a
+//!   cell it already read at pin time, and the cell cannot have advanced
+//!   more than once while the thread stayed pinned.
+//! * Garbage stamped `s` is freed only once the global epoch reaches
+//!   `s + 6` — **three** advances, one more than the textbook two. The
+//!   extra advance absorbs the one-step stamp staleness above: any thread
+//!   that could hold a reference pinned at `e ≤ s + 2`, advancement stalls
+//!   at `e + 2 ≤ s + 4 < s + 6` while it stays pinned, so the free cannot
+//!   race a live reference. This trades one epoch of reclamation latency
+//!   for an argument that needs no fence on the (hot) defer path.
+//!
+//! The caller contract is upstream's: only [`Guard::defer_destroy`] objects
+//! that are already unreachable to threads that pin *after* the call.
 
+use std::cell::{Cell, UnsafeCell};
 use std::marker::PhantomData;
 use std::mem::ManuallyDrop;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{self, AtomicUsize, Ordering};
 
-/// How many queued garbage items trigger a collection attempt on unpin.
+/// How many bagged garbage items trigger a collection attempt on unpin.
 const COLLECT_THRESHOLD: usize = 64;
 
-struct Participant {
-    /// Whether a guard on the owning thread is currently active.
-    pinned: AtomicBool,
-    /// The global epoch observed at pin time (valid while `pinned`).
-    epoch: AtomicUsize,
-    /// Guard nesting depth; only the owning thread mutates it.
-    depth: AtomicUsize,
-}
+/// Low bit of a participant's epoch word: set while pinned.
+const PINNED: usize = 1;
+
+/// One global-epoch step (the low bit is reserved for [`PINNED`]).
+const STEP: usize = 2;
+
+/// Garbage stamped `s` is freed once `global - s >= EXPIRY` (3 advances;
+/// see the module comment for why this is one more than the usual two).
+const EXPIRY: usize = 3 * STEP;
+
+/// Slot states of a registry record.
+const IN_USE: usize = 1;
+const FREE: usize = 0;
 
 /// A type-erased deferred deallocation.
 struct Deferred {
@@ -44,72 +98,306 @@ struct Deferred {
 // collection, after the epoch scheme has proven exclusive access.
 unsafe impl Send for Deferred {}
 
-struct Global {
+/// A participant record: registry node + per-thread garbage bag.
+struct Local {
+    /// `global_epoch | PINNED` while pinned, an even value otherwise.
+    /// One word, one store: a collector can never see a pinned participant
+    /// paired with an epoch it did not actually observe.
     epoch: AtomicUsize,
-    registry: Mutex<Vec<Arc<Participant>>>,
-    garbage: Mutex<Vec<(usize, Deferred)>>,
-    garbage_len: AtomicUsize,
+    /// Next registry record (`0` terminates); the list is append-only.
+    next: AtomicUsize,
+    /// [`FREE`]/[`IN_USE`] slot state; exiting threads release their slot
+    /// for reuse instead of unlinking (records are never freed).
+    state: AtomicUsize,
+    /// Guard nesting depth. Owner-thread only.
+    guard_count: Cell<usize>,
+    /// Set when the thread's `Handle` was dropped while a `Guard` was still
+    /// live (TLS destructor order is unspecified): the last `Guard::drop`
+    /// finishes the retirement instead. Owner-thread only.
+    retire_on_unpin: Cell<bool>,
+    /// Deferred garbage, each item stamped with the global epoch at defer
+    /// time. Owner-thread only while the slot is `IN_USE`; handed off via
+    /// the `state` Release/Acquire edge on reuse.
+    bag: UnsafeCell<Vec<(usize, Deferred)>>,
 }
 
-fn global() -> &'static Global {
-    static GLOBAL: OnceLock<Global> = OnceLock::new();
-    GLOBAL.get_or_init(|| Global {
-        epoch: AtomicUsize::new(0),
-        registry: Mutex::new(Vec::new()),
-        garbage: Mutex::new(Vec::new()),
-        garbage_len: AtomicUsize::new(0),
-    })
+/// A sealed bag from an exited thread, awaiting any thread's collection.
+struct Orphan {
+    /// Next orphan (`0` terminates). Plain because nodes are only read
+    /// after an exclusive `swap` takeover of the whole stack.
+    next: usize,
+    items: Vec<(usize, Deferred)>,
 }
 
-/// Per-thread registration handle; deregisters on thread exit.
+struct Global {
+    /// The global epoch: even, advances by [`STEP`].
+    epoch: AtomicUsize,
+    /// Registry head: `*const Local` as usize, `0` when empty.
+    locals: AtomicUsize,
+    /// Orphan stack head: `*mut Orphan` as usize, `0` when empty.
+    orphans: AtomicUsize,
+    /// The epoch at which the last orphan sweep freed nothing (odd sentinel
+    /// `usize::MAX` = no such sweep). Purely a churn limiter: while the
+    /// epoch has not advanced past a fruitless sweep, re-sweeping the stack
+    /// would free nothing and only reallocate the kept bag.
+    orphan_sweep: AtomicUsize,
+}
+
+static GLOBAL: Global = Global {
+    epoch: AtomicUsize::new(0),
+    locals: AtomicUsize::new(0),
+    orphans: AtomicUsize::new(0),
+    orphan_sweep: AtomicUsize::new(usize::MAX),
+};
+
+impl Local {
+    /// Registers the calling thread: reuses a `FREE` slot if one exists,
+    /// otherwise pushes a fresh record onto the registry. Lock-free.
+    fn acquire() -> &'static Local {
+        let mut p = GLOBAL.locals.load(Ordering::Acquire);
+        while p != 0 {
+            let local = unsafe { &*(p as *const Local) };
+            if local.state.load(Ordering::Relaxed) == FREE
+                && local
+                    .state
+                    .compare_exchange(FREE, IN_USE, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                // The Acquire CAS pairs with the releasing store in
+                // `retire`, handing the (emptied) bag to this thread.
+                local.guard_count.set(0);
+                local.retire_on_unpin.set(false);
+                return local;
+            }
+            p = local.next.load(Ordering::Acquire);
+        }
+        let local: &'static Local = Box::leak(Box::new(Local {
+            epoch: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+            state: AtomicUsize::new(IN_USE),
+            guard_count: Cell::new(0),
+            retire_on_unpin: Cell::new(false),
+            bag: UnsafeCell::new(Vec::new()),
+        }));
+        let mut head = GLOBAL.locals.load(Ordering::Relaxed);
+        loop {
+            local.next.store(head, Ordering::Relaxed);
+            match GLOBAL.locals.compare_exchange_weak(
+                head,
+                local as *const Local as usize,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return local,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Deregisters: migrates leftover garbage to the orphan stack and
+    /// releases the slot for reuse by a later thread.
+    ///
+    /// If a `Guard` is still live (a guard stored in another thread-local
+    /// whose destructor runs after `HANDLE`'s — TLS destructor order is
+    /// unspecified), the slot must NOT be released out from under the pin:
+    /// retirement is deferred to the last `Guard::drop` instead, which
+    /// keeps the critical section sound and the owner-only fields
+    /// single-threaded.
+    fn retire(&self) {
+        if self.guard_count.get() > 0 {
+            self.retire_on_unpin.set(true);
+            return;
+        }
+        self.retire_on_unpin.set(false);
+        let bag = unsafe { &mut *self.bag.get() };
+        if !bag.is_empty() {
+            push_orphan(std::mem::take(bag));
+        }
+        self.epoch.store(0, Ordering::Release);
+        self.state.store(FREE, Ordering::Release);
+    }
+}
+
+/// Pushes a sealed bag onto the global orphan stack (lock-free).
+fn push_orphan(items: Vec<(usize, Deferred)>) {
+    let node = Box::into_raw(Box::new(Orphan { next: 0, items }));
+    let mut head = GLOBAL.orphans.load(Ordering::Relaxed);
+    loop {
+        unsafe { (*node).next = head };
+        match GLOBAL.orphans.compare_exchange_weak(
+            head,
+            node as usize,
+            Ordering::Release,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(h) => head = h,
+        }
+    }
+}
+
+/// Takes over the whole orphan stack, moves expired items into `freeable`,
+/// and pushes the still-young remainder back as a single bag.
+fn collect_orphans(freeable: &mut Vec<Deferred>) {
+    if GLOBAL.orphans.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    // Skip the takeover while the epoch sits where a previous sweep already
+    // found nothing expired — orphans only age when the epoch advances, and
+    // `collect` keeps requesting advances while orphans exist, so this
+    // marker goes stale quickly and never blocks progress (a mistaken skip
+    // merely defers the sweep to the next advance).
+    let snapshot = GLOBAL.epoch.load(Ordering::SeqCst);
+    if GLOBAL.orphan_sweep.load(Ordering::Relaxed) == snapshot {
+        return;
+    }
+    // The swap grants exclusive ownership of every node in the chain.
+    let mut p = GLOBAL.orphans.swap(0, Ordering::Acquire);
+    if p == 0 {
+        return; // another collector took the stack first
+    }
+    // Orphan stamps were taken by *other* threads and can be ahead of any
+    // epoch snapshot taken before the swap (the own-bag coherence argument
+    // does not apply), which would underflow the unsigned age computation
+    // below and free garbage instantly. Re-read the epoch after the swap:
+    // each stamp load happens-before its bag's Release push, which the
+    // Acquire swap observed, so by read-read coherence this load returns
+    // a value ≥ every stamp in the taken chain.
+    let global_epoch = GLOBAL.epoch.load(Ordering::SeqCst);
+    let freed_before = freeable.len();
+    let mut keep: Vec<(usize, Deferred)> = Vec::new();
+    while p != 0 {
+        let node = unsafe { Box::from_raw(p as *mut Orphan) };
+        p = node.next;
+        for (stamp, deferred) in node.items {
+            if global_epoch.wrapping_sub(stamp) >= EXPIRY {
+                freeable.push(deferred);
+            } else {
+                keep.push((stamp, deferred));
+            }
+        }
+    }
+    if !keep.is_empty() {
+        push_orphan(keep);
+        if freeable.len() == freed_before {
+            // Fruitless sweep: nothing can expire until the epoch advances
+            // past `global_epoch`, so let peers skip the churn until then.
+            GLOBAL.orphan_sweep.store(global_epoch, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Tries to advance the global epoch by one step; returns the epoch that is
+/// current afterwards. Lock-free: one registry scan, no allocation.
+#[cold]
+fn try_advance() -> usize {
+    let global_epoch = GLOBAL.epoch.load(Ordering::SeqCst);
+    // Pairs with the fence in `pin`: scans ordered after this fence see
+    // every pin whose fence preceded it (module comment, bullet one).
+    atomic::fence(Ordering::SeqCst);
+    let mut p = GLOBAL.locals.load(Ordering::Acquire);
+    while p != 0 {
+        let local = unsafe { &*(p as *const Local) };
+        let word = local.epoch.load(Ordering::Relaxed);
+        if word & PINNED != 0 && word & !PINNED != global_epoch {
+            // A participant is pinned at an older epoch: cannot advance.
+            return global_epoch;
+        }
+        p = local.next.load(Ordering::Acquire);
+    }
+    atomic::fence(Ordering::Acquire);
+    match GLOBAL.epoch.compare_exchange(
+        global_epoch,
+        global_epoch.wrapping_add(STEP),
+        Ordering::SeqCst,
+        Ordering::SeqCst,
+    ) {
+        Ok(_) => global_epoch.wrapping_add(STEP),
+        Err(current) => current,
+    }
+}
+
+/// Frees this participant's expired garbage (plus any expired orphans),
+/// advancing the epoch only if something is actually waiting on it.
+fn collect(local: &Local) {
+    let mut freeable: Vec<Deferred> = Vec::new();
+    {
+        let bag = unsafe { &mut *local.bag.get() };
+        let mut global_epoch = GLOBAL.epoch.load(Ordering::SeqCst);
+        // Garbage-driven advancement: only scan the registry when this bag
+        // (or the orphan stack) holds items still too young to free.
+        let blocked = bag.iter().any(|(s, _)| global_epoch.wrapping_sub(*s) < EXPIRY)
+            || GLOBAL.orphans.load(Ordering::Relaxed) != 0;
+        if blocked {
+            global_epoch = try_advance();
+        }
+        let mut i = 0;
+        while i < bag.len() {
+            if global_epoch.wrapping_sub(bag[i].0) >= EXPIRY {
+                freeable.push(bag.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        collect_orphans(&mut freeable);
+    }
+    // Free with no outstanding borrows: a pointee's Drop may legally pin,
+    // defer, or collect again.
+    for deferred in freeable {
+        unsafe { (deferred.drop_fn)(deferred.ptr) };
+    }
+}
+
+/// Per-thread registration handle; releases the slot on thread exit.
 struct Handle {
-    participant: Arc<Participant>,
+    local: &'static Local,
 }
 
 impl Drop for Handle {
     fn drop(&mut self) {
-        let mut reg = match global().registry.lock() {
-            Ok(r) => r,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        reg.retain(|p| !Arc::ptr_eq(p, &self.participant));
+        self.local.retire();
     }
 }
 
 thread_local! {
-    static HANDLE: Handle = {
-        let participant = Arc::new(Participant {
-            pinned: AtomicBool::new(false),
-            epoch: AtomicUsize::new(0),
-            depth: AtomicUsize::new(0),
-        });
-        let mut reg = match global().registry.lock() {
-            Ok(r) => r,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        reg.push(Arc::clone(&participant));
-        drop(reg);
-        Handle { participant }
-    };
+    static HANDLE: Handle = Handle { local: Local::acquire() };
+}
+
+/// Pins `local` (which must be unpinned): one store plus the handshake
+/// fence. The stored epoch may be one step stale, which is safe — a stale
+/// pin only delays advancement, never unblocks a free (module comment).
+fn pin_slot(local: &Local) {
+    let e = GLOBAL.epoch.load(Ordering::Relaxed);
+    local.epoch.store(e | PINNED, Ordering::Relaxed);
+    atomic::fence(Ordering::SeqCst);
 }
 
 /// Pins the current thread, returning a guard that keeps the epoch from
 /// advancing past the point where this thread's loads remain safe.
 pub fn pin() -> Guard {
-    let participant = HANDLE.with(|h| Arc::clone(&h.participant));
-    if participant.depth.load(Ordering::Relaxed) == 0 {
-        participant.pinned.store(true, Ordering::SeqCst);
-        // Handshake: publish the observed epoch, re-check it was current.
-        loop {
-            let e = global().epoch.load(Ordering::SeqCst);
-            participant.epoch.store(e, Ordering::SeqCst);
-            if global().epoch.load(Ordering::SeqCst) == e {
-                break;
-            }
+    match HANDLE.try_with(|h| make_guard(h.local)) {
+        Ok(guard) => guard,
+        // Thread-local storage already torn down (a pin from another TLS
+        // destructor): register an ephemeral participant that the guard
+        // retires on drop.
+        Err(_) => {
+            let local = Local::acquire();
+            local.guard_count.set(1);
+            pin_slot(local);
+            Guard { local, ephemeral: true }
         }
     }
-    participant.depth.fetch_add(1, Ordering::Relaxed);
-    Guard { participant: Some(participant) }
+}
+
+/// Builds a guard for `local`, bumping the nesting depth and pinning on
+/// the outermost entry.
+fn make_guard(local: &'static Local) -> Guard {
+    let count = local.guard_count.get();
+    local.guard_count.set(count + 1);
+    if count == 0 {
+        pin_slot(local);
+    }
+    Guard { local, ephemeral: false }
 }
 
 /// Returns a dummy guard for data not shared with any other thread.
@@ -119,20 +407,35 @@ pub fn pin() -> Guard {
 /// Callers must guarantee no concurrent access to the data structures
 /// traversed under this guard; deferred destruction runs immediately.
 pub unsafe fn unprotected() -> &'static Guard {
-    static UNPROTECTED: Guard = Guard { participant: None };
-    &UNPROTECTED
+    struct SyncGuard(Guard);
+    // SAFETY: the null-participant guard carries no thread-bound state.
+    unsafe impl Sync for SyncGuard {}
+    static UNPROTECTED: SyncGuard = SyncGuard(Guard { local: std::ptr::null(), ephemeral: false });
+    &UNPROTECTED.0
 }
 
 /// A pinned critical section. Dropping the guard unpins the thread and
-/// opportunistically collects garbage.
+/// opportunistically collects this thread's expired garbage.
+///
+/// Holds a raw participant pointer (null for [`unprotected`]), which also
+/// makes `Guard: !Send` — a guard must unpin on the thread that pinned.
 pub struct Guard {
-    /// `None` for the [`unprotected`] guard.
-    participant: Option<Arc<Participant>>,
+    local: *const Local,
+    /// Whether dropping this guard must also retire its participant slot
+    /// (only for pins that raced thread-local teardown).
+    ephemeral: bool,
 }
 
 impl Guard {
+    fn local(&self) -> Option<&'static Local> {
+        // SAFETY: non-null `local` always points at a leaked, never-freed
+        // registry record.
+        unsafe { self.local.as_ref() }
+    }
+
     /// Schedules the pointee for deallocation once no pinned thread can
-    /// still hold a reference to it.
+    /// still hold a reference to it. Lock-free: a push onto this thread's
+    /// own garbage bag.
     ///
     /// # Safety
     ///
@@ -143,19 +446,41 @@ impl Guard {
         let raw = ptr.untagged();
         debug_assert!(raw != 0, "defer_destroy on null pointer");
         let deferred = Deferred { ptr: raw, drop_fn: drop_box::<T> };
-        if self.participant.is_none() {
+        match self.local() {
             // Unprotected: caller vouches for exclusivity; free now.
-            unsafe { (deferred.drop_fn)(deferred.ptr) };
-            return;
+            None => unsafe { (deferred.drop_fn)(deferred.ptr) },
+            Some(local) => {
+                // At most one step stale (we are pinned, so the epoch can
+                // have advanced at most once since our pin) — absorbed by
+                // the EXPIRY margin.
+                let stamp = GLOBAL.epoch.load(Ordering::SeqCst);
+                unsafe { &mut *local.bag.get() }.push((stamp, deferred));
+            }
         }
-        let g = global();
-        let stamp = g.epoch.load(Ordering::SeqCst);
-        let mut garbage = match g.garbage.lock() {
-            Ok(q) => q,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        garbage.push((stamp, deferred));
-        g.garbage_len.store(garbage.len(), Ordering::Relaxed);
+    }
+
+    /// Collects this thread's expired garbage now (and any expired orphan
+    /// bags), advancing the epoch if needed. Matches upstream
+    /// `Guard::flush` in role: call after large unlink phases to bound
+    /// memory, instead of waiting for the unpin threshold.
+    pub fn flush(&self) {
+        if let Some(local) = self.local() {
+            collect(local);
+        }
+    }
+
+    /// Unpins and immediately re-pins at the current epoch, letting the
+    /// global epoch advance past this thread mid-way through a long
+    /// operation. Matches upstream `Guard::repin`. No-op for nested guards
+    /// (an outer guard still holds the older epoch hostage) and for the
+    /// [`unprotected`] guard.
+    pub fn repin(&mut self) {
+        if let Some(local) = self.local() {
+            if local.guard_count.get() == 1 {
+                local.epoch.store(0, Ordering::Release);
+                pin_slot(local);
+            }
+        }
     }
 }
 
@@ -165,11 +490,19 @@ unsafe fn drop_box<T>(ptr: usize) {
 
 impl Drop for Guard {
     fn drop(&mut self) {
-        let Some(participant) = &self.participant else { return };
-        if participant.depth.fetch_sub(1, Ordering::Relaxed) == 1 {
-            participant.pinned.store(false, Ordering::SeqCst);
-            if global().garbage_len.load(Ordering::Relaxed) >= COLLECT_THRESHOLD {
-                try_collect();
+        let Some(local) = self.local() else { return };
+        let count = local.guard_count.get();
+        local.guard_count.set(count - 1);
+        if count == 1 {
+            local.epoch.store(0, Ordering::Release);
+            if unsafe { &*local.bag.get() }.len() >= COLLECT_THRESHOLD {
+                collect(local);
+            }
+            // Ephemeral pins always retire here; a regular pin retires only
+            // when the thread's Handle was already torn down and deferred
+            // its retirement to us (see `Local::retire`).
+            if self.ephemeral || local.retire_on_unpin.get() {
+                local.retire();
             }
         }
     }
@@ -178,42 +511,6 @@ impl Drop for Guard {
 impl std::fmt::Debug for Guard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Guard").finish_non_exhaustive()
-    }
-}
-
-/// Tries to advance the global epoch and free sufficiently old garbage.
-/// Skips silently when another thread holds either lock.
-fn try_collect() {
-    let g = global();
-    let Ok(registry) = g.registry.try_lock() else { return };
-    let e = g.epoch.load(Ordering::SeqCst);
-    for p in registry.iter() {
-        if p.pinned.load(Ordering::SeqCst) && p.epoch.load(Ordering::SeqCst) != e {
-            return; // a straggler pins an older epoch: cannot advance
-        }
-    }
-    g.epoch.store(e + 1, Ordering::SeqCst);
-    drop(registry);
-
-    let mut garbage = match g.garbage.lock() {
-        Ok(q) => q,
-        Err(poisoned) => poisoned.into_inner(),
-    };
-    // Freeable: deferred at `stamp` with `stamp + 2 <= e + 1`.
-    let mut freeable = Vec::new();
-    let mut i = 0;
-    while i < garbage.len() {
-        if garbage[i].0 + 2 <= e + 1 {
-            freeable.push(garbage.swap_remove(i));
-        } else {
-            i += 1;
-        }
-    }
-    g.garbage_len.store(garbage.len(), Ordering::Relaxed);
-    // Free outside the lock: a pointee's Drop must not deadlock on it.
-    drop(garbage);
-    for (_, deferred) in freeable {
-        unsafe { (deferred.drop_fn)(deferred.ptr) };
     }
 }
 
@@ -487,58 +784,128 @@ mod tests {
         unsafe { drop(a.load(Acquire, &guard).into_owned()) };
     }
 
-    #[test]
-    fn deferred_destruction_runs() {
-        use std::sync::atomic::AtomicUsize;
-        static DROPS: AtomicUsize = AtomicUsize::new(0);
-        struct Probe;
+    /// Defers a fresh heap allocation whose Drop bumps `counter`.
+    fn defer_probe(guard: &Guard, counter: &'static AtomicUsize) {
+        struct Probe(&'static AtomicUsize);
         impl Drop for Probe {
             fn drop(&mut self) {
-                DROPS.fetch_add(1, SeqCst);
+                self.0.fetch_add(1, SeqCst);
             }
         }
-        let before = DROPS.load(SeqCst);
-        // Defer plenty of items across separate pin sessions so several
-        // collection attempts run.
-        for _ in 0..(COLLECT_THRESHOLD * 8) {
-            let guard = pin();
-            let a: Atomic<Probe> = Atomic::null();
-            a.store(Owned::new(Probe), Release);
-            let s = a.load(Acquire, &guard);
-            a.store(Shared::null(), Release);
-            unsafe { guard.defer_destroy(s) };
+        let a: Atomic<Probe> = Atomic::null();
+        a.store(Owned::new(Probe(counter)), Release);
+        let s = a.load(Acquire, guard);
+        a.store(Shared::null(), Release);
+        unsafe { guard.defer_destroy(s) };
+    }
+
+    /// Pin-flush-yield until `counter` reaches `target` or attempts run out.
+    /// Garbage is thread-local, so unrelated tests running concurrently can
+    /// only *delay* epoch advancement with their short-lived guards, never
+    /// block it forever — hence the retry loop instead of a fixed count.
+    fn drain_until(counter: &'static AtomicUsize, target: usize) {
+        for _ in 0..100_000 {
+            if counter.load(SeqCst) >= target {
+                return;
+            }
+            pin().flush();
+            std::thread::yield_now();
         }
-        // A few empty pin sessions let the epoch advance and drain.
-        for _ in 0..8 {
-            global().garbage_len.store(COLLECT_THRESHOLD, Ordering::Relaxed);
-            drop(pin());
+    }
+
+    #[test]
+    fn deferred_destruction_runs() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        const N: usize = COLLECT_THRESHOLD * 8;
+        // Each iteration defers one probe and unpins; garbage stays in this
+        // thread's bag, so no other test can consume or inflate it.
+        for _ in 0..N {
+            defer_probe(&pin(), &DROPS);
         }
-        let g = global();
-        let pending = g.garbage.lock().unwrap().len();
-        g.garbage_len.store(pending, Ordering::Relaxed);
-        assert!(
-            DROPS.load(SeqCst) - before + pending >= COLLECT_THRESHOLD * 8,
-            "all deferred items are either dropped or still queued"
-        );
-        assert!(DROPS.load(SeqCst) > before, "at least some garbage was collected");
+        drain_until(&DROPS, N);
+        assert_eq!(DROPS.load(SeqCst), N, "every deferred probe dropped exactly once");
     }
 
     #[test]
     fn unprotected_frees_immediately() {
-        use std::sync::atomic::AtomicUsize;
         static DROPS: AtomicUsize = AtomicUsize::new(0);
-        struct Probe;
-        impl Drop for Probe {
-            fn drop(&mut self) {
-                DROPS.fetch_add(1, SeqCst);
-            }
-        }
-        let before = DROPS.load(SeqCst);
         let guard = unsafe { unprotected() };
-        let a: Atomic<Probe> = Atomic::null();
-        a.store(Owned::new(Probe), Release);
-        let s = a.load(Acquire, guard);
-        unsafe { guard.defer_destroy(s) };
-        assert_eq!(DROPS.load(SeqCst), before + 1);
+        defer_probe(guard, &DROPS);
+        assert_eq!(DROPS.load(SeqCst), 1);
+    }
+
+    #[test]
+    fn flush_collects_below_threshold() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        // Far fewer than COLLECT_THRESHOLD: without flush() these would sit
+        // in the bag until the threshold trips.
+        const N: usize = 5;
+        for _ in 0..N {
+            defer_probe(&pin(), &DROPS);
+        }
+        drain_until(&DROPS, N);
+        assert_eq!(DROPS.load(SeqCst), N);
+    }
+
+    #[test]
+    fn repin_unblocks_reclamation_under_live_guard() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        const N: usize = 10;
+        let mut guard = pin();
+        for _ in 0..N {
+            defer_probe(&guard, &DROPS);
+        }
+        // While this guard stays pinned at its original epoch `e`, the
+        // global epoch is capped at `e + STEP`, and the probes (stamped
+        // ≥ e) expire only at `e + EXPIRY` — so no flush can free them.
+        for _ in 0..64 {
+            guard.flush();
+        }
+        assert_eq!(DROPS.load(SeqCst), 0, "a live pin must block its own garbage");
+        // ...but repinning releases the old epoch each round, so the
+        // advance can walk forward and reclamation completes.
+        for _ in 0..100_000 {
+            if DROPS.load(SeqCst) >= N {
+                break;
+            }
+            guard.repin();
+            guard.flush();
+            std::thread::yield_now();
+        }
+        assert_eq!(DROPS.load(SeqCst), N, "repin lets the epoch advance past a live guard");
+    }
+
+    #[test]
+    fn orphaned_garbage_reclaimed_after_thread_exit() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        const N: usize = 7;
+        // The thread exits with a non-empty bag (< threshold, never
+        // flushed): retire() must migrate it to the orphan stack.
+        std::thread::spawn(|| {
+            for _ in 0..N {
+                defer_probe(&pin(), &DROPS);
+            }
+        })
+        .join()
+        .unwrap();
+        // Any other thread's collections must eventually free the orphans.
+        drain_until(&DROPS, N);
+        assert_eq!(DROPS.load(SeqCst), N, "orphaned bags freed by another thread");
+    }
+
+    #[test]
+    fn nested_guards_share_one_pin() {
+        let _outer = pin();
+        {
+            let inner = pin();
+            let a: Atomic<u8> = Atomic::null();
+            a.store(Owned::new(9u8), Release);
+            let s = a.load(Acquire, &inner);
+            assert_eq!(unsafe { *s.deref() }, 9);
+            unsafe { drop(s.into_owned()) };
+        }
+        // Dropping the inner guard must not unpin the outer one; pinning
+        // again still works and the process did not panic.
+        drop(pin());
     }
 }
