@@ -11,6 +11,7 @@ use rsched_queues::concurrent::{
 };
 use rsched_queues::exact::{BinaryHeapScheduler, PairingHeap};
 use rsched_queues::relaxed::{SimMultiQueue, SimSprayList, TopKUniform};
+use rsched_queues::sharded::ShardedScheduler;
 use rsched_queues::{ConcurrentScheduler, PriorityScheduler};
 use std::hint::black_box;
 
@@ -290,12 +291,91 @@ fn bench_lf_multiqueue_contention(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched drain through a worker-pinned `pop_batch_for`, the access
+/// pattern of the sharded executor.
+fn drain_batched_for<S: ConcurrentScheduler<u32>>(q: &S, worker: usize) -> u64 {
+    let mut acc = 0u64;
+    let mut buf: Vec<(u64, u32)> = Vec::with_capacity(BATCH);
+    loop {
+        buf.clear();
+        if q.pop_batch_for(worker, &mut buf, BATCH) == 0 {
+            break;
+        }
+        for &(p, _) in &buf {
+            acc = acc.wrapping_add(p);
+        }
+    }
+    acc
+}
+
+fn bench_sharded_contention(c: &mut Criterion) {
+    // The sharding tentpole measurement: `threads` workers drain a
+    // prefilled sharded scheduler through their affinity shard
+    // (`pop_batch_for`), sweeping shard count × thread count over both the
+    // lock-based and the lock-free MultiQueue inner. One shard is the
+    // unsharded baseline; more shards split the contention domain (and at
+    // 1 thread expose the combinator's routing overhead). Total internal
+    // queue count is held at 4·threads across shard counts so the sweep
+    // isolates partitioning, not queue-count relaxation.
+    let mut group = c.benchmark_group("sharded_contention");
+    group.sample_size(10);
+    for &threads in &[2usize, 8] {
+        for &shards in &[1usize, 2, 4] {
+            let queues_per_shard = (4 * threads).div_ceil(shards);
+            group.bench_with_input(
+                BenchmarkId::new(format!("multiqueue_t{threads}"), shards),
+                &shards,
+                |b, &s| {
+                    b.iter(|| {
+                        let q = ShardedScheduler::prefilled_with(
+                            s,
+                            (0..N).map(|p| (p, p as u32)),
+                            |_, part| {
+                                let inner: MultiQueue<u32> = MultiQueue::new(queues_per_shard);
+                                inner.insert_batch(&part);
+                                inner
+                            },
+                        );
+                        std::thread::scope(|sc| {
+                            for w in 0..threads {
+                                let q = &q;
+                                sc.spawn(move || black_box(drain_batched_for(q, w)));
+                            }
+                        });
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("lf_multiqueue_t{threads}"), shards),
+                &shards,
+                |b, &s| {
+                    b.iter(|| {
+                        let q = ShardedScheduler::prefilled_with(
+                            s,
+                            (0..N).map(|p| (p, p as u32)),
+                            |_, part| LockFreeMultiQueue::prefilled(queues_per_shard, part),
+                        );
+                        std::thread::scope(|sc| {
+                            for w in 0..threads {
+                                let q = &q;
+                                sc.spawn(move || black_box(drain_batched_for(q, w)));
+                            }
+                        });
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sequential,
     bench_concurrent_single_thread,
     bench_multiqueue_scaling,
     bench_batched_vs_scalar,
-    bench_lf_multiqueue_contention
+    bench_lf_multiqueue_contention,
+    bench_sharded_contention
 );
 criterion_main!(benches);

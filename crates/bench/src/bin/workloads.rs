@@ -9,7 +9,7 @@
 //! `poly(k)` waste regardless of density (Theorem 2).
 //!
 //! Usage: `workloads [--n N] [--m M] [--reps R] [--ks 4,16,64] [--seed S]
-//! [--batch-size B]`
+//! [--batch-size B] [--shards S]`
 //!
 //! `--batch-size B` (default 1) runs the framework in batched mode: `B`
 //! tasks are popped per scheduler round-trip and the batch's failed deletes
@@ -17,18 +17,42 @@
 //! relaxation (a `k`-relaxed scheduler behaves like an `O(k·B)`-relaxed
 //! one), so the waste columns grow with `B` exactly as they grow with `k`;
 //! batch size 1 is bit-for-bit the scalar framework.
+//!
+//! `--shards S` (default 1) partitions every scheduler into `S` hash-routed
+//! `SimMultiQueue` shards drained round-robin (`ShardedScheduler`, the
+//! sequential model of sharded execution). Sharding multiplies the
+//! effective relaxation by `S` (a `k`-relaxed scheduler over `S` shards
+//! behaves `O(k·S)`-relaxed, DESIGN.md "Sharding semantics"), so the waste
+//! columns grow with `S` exactly as they grow with `k` or `B`; one shard is
+//! bit-for-bit the unsharded framework.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsched_bench::{Args, Table};
+use rsched_bench::{shard_seed, Args, Table};
 use rsched_core::algorithms::coloring::ColoringTasks;
 use rsched_core::algorithms::knuth_shuffle::{random_targets, shuffle_priorities, ShuffleTasks};
 use rsched_core::algorithms::list_contraction::ContractionTasks;
 use rsched_core::algorithms::matching::{MatchingInstance, MatchingTasks};
 use rsched_core::algorithms::mis::MisTasks;
 use rsched_core::framework::run_relaxed_batched;
+use rsched_core::TaskId;
 use rsched_graph::{gen, ListInstance, Permutation};
 use rsched_queues::relaxed::SimMultiQueue;
+use rsched_queues::sharded::ShardedScheduler;
+
+/// `shards` hash-routed `SimMultiQueue(k)` shards. Via [`shard_seed`],
+/// shard 0 is seeded with `seed` itself, so one shard consumes the RNG
+/// exactly like the unsharded scheduler and `--shards 1` stays bit-for-bit
+/// the unsharded run.
+fn sharded_sim(
+    shards: usize,
+    k: usize,
+    seed: u64,
+) -> ShardedScheduler<SimMultiQueue<TaskId, StdRng>> {
+    ShardedScheduler::from_fn(shards, |i| {
+        SimMultiQueue::new(k, StdRng::seed_from_u64(shard_seed(seed, i)))
+    })
+}
 
 fn main() {
     let args = Args::parse();
@@ -42,6 +66,7 @@ fn main() {
             ("--ks LIST", "comma-separated relaxation factors"),
             ("--seed S", "base RNG seed"),
             ("--batch-size B", "tasks popped per scheduler round-trip (default 1)"),
+            ("--shards S", "hash-routed scheduler shards, drained round-robin (default 1)"),
         ],
     ) {
         return;
@@ -53,11 +78,17 @@ fn main() {
     let seed = args.get_u64("seed", 17);
     let batch_size = args.get_usize("batch-size", 1);
     assert!(batch_size >= 1, "--batch-size must be positive");
+    let shards = args.get_usize("shards", 1);
+    assert!(shards >= 1, "--shards must be positive");
 
-    // Batch size 1 must leave the output byte-identical to the pre-batching
-    // binary, so the extra header line is conditional.
+    // Batch size 1 / one shard must leave the output byte-identical to the
+    // pre-batching / pre-sharding binary, so the header lines are
+    // conditional.
     if batch_size > 1 {
         println!("framework batch size: {batch_size}");
+    }
+    if shards > 1 {
+        println!("scheduler shards: {shards}");
     }
     println!("§4 synthetic tests: average extra iterations over {reps} runs (n = {n}, m = {m})\n");
 
@@ -79,7 +110,7 @@ fn main() {
         let g = &g;
         let f = move |k: usize, s: u64| -> u64 {
             let pi = Permutation::random(g.num_vertices(), &mut StdRng::seed_from_u64(s));
-            let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 1));
+            let sched = sharded_sim(shards, k, s ^ 1);
             run_relaxed_batched(MisTasks::new(g, &pi), &pi, sched, batch_size).1.extra_iterations()
         };
         let mut cells = vec!["MIS".to_string(), n.to_string()];
@@ -93,7 +124,7 @@ fn main() {
         let inst = &inst;
         let f = move |k: usize, s: u64| -> u64 {
             let pi = Permutation::random(inst.num_edges(), &mut StdRng::seed_from_u64(s));
-            let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 2));
+            let sched = sharded_sim(shards, k, s ^ 2);
             run_relaxed_batched(MatchingTasks::new(inst, &pi), &pi, sched, batch_size)
                 .1
                 .extra_iterations()
@@ -109,7 +140,7 @@ fn main() {
         let g = &g;
         let f = move |k: usize, s: u64| -> u64 {
             let pi = Permutation::random(g.num_vertices(), &mut StdRng::seed_from_u64(s));
-            let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 3));
+            let sched = sharded_sim(shards, k, s ^ 3);
             run_relaxed_batched(ColoringTasks::new(g, &pi), &pi, sched, batch_size)
                 .1
                 .extra_iterations()
@@ -125,7 +156,7 @@ fn main() {
         let f = move |k: usize, s: u64| -> u64 {
             let targets = random_targets(n, &mut StdRng::seed_from_u64(s));
             let pi = shuffle_priorities(n);
-            let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 4));
+            let sched = sharded_sim(shards, k, s ^ 4);
             run_relaxed_batched(ShuffleTasks::new(targets), &pi, sched, batch_size)
                 .1
                 .extra_iterations()
@@ -142,7 +173,7 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(s);
             let list = ListInstance::new_shuffled(n, &mut rng);
             let pi = Permutation::random(n, &mut rng);
-            let sched = SimMultiQueue::new(k, StdRng::seed_from_u64(s ^ 5));
+            let sched = sharded_sim(shards, k, s ^ 5);
             run_relaxed_batched(ContractionTasks::new(&list, &pi), &pi, sched, batch_size)
                 .1
                 .extra_iterations()

@@ -285,6 +285,17 @@ pub mod table1 {
     }
 }
 
+/// The RNG seed for shard `shard` of a sharded scheduler derived from a
+/// base `seed`: a golden-ratio stride keeps the per-shard streams decorrelated
+/// while shard 0 keeps `seed` itself, so a one-shard configuration consumes
+/// the RNG exactly like the unsharded scheduler (the `--shards 1`
+/// bit-for-bit guarantee). Shared by the `workloads`/`rank_tails` binaries
+/// and the `rank_tail_fit` CI pin — they must agree for the pin to pin the
+/// binaries' configuration.
+pub fn shard_seed(seed: u64, shard: usize) -> u64 {
+    seed.wrapping_add((shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 /// Least-squares fit of an exponential tail `Pr[X ≥ ℓ] ≈ C·e^(−λℓ)`.
 ///
 /// `tail[ℓ]` is the empirical `Pr[X ≥ ℓ]` (as produced by

@@ -8,9 +8,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsched_bench::fit_tail_exponent;
+use rsched_bench::{fit_tail_exponent, shard_seed};
 use rsched_queues::instrument::Instrumented;
 use rsched_queues::relaxed::{SimMultiQueue, SimSprayList, TopKUniform};
+use rsched_queues::sharded::ShardedScheduler;
 use rsched_queues::PriorityScheduler;
 
 const N: u64 = 20_000;
@@ -62,6 +63,37 @@ fn sim_spraylist_tail_exponent_in_band() {
     // the paper's O(p log³ p) factor.
     let tail = rank_tail(SimSprayList::with_threads(K, StdRng::seed_from_u64(SEED)));
     assert_band("sim SprayList", &tail, 0.6, 3.0);
+}
+
+#[test]
+fn sharded_tail_exponent_degrades_linearly_in_shard_count() {
+    // The sharding acceptance bar: a k-relaxed scheduler over s hash-routed
+    // shards (round-robin drained — the sequential model of sharded
+    // execution) behaves O(k·s)-relaxed, so the fitted k̂ must scale no
+    // worse than linearly in s, and must genuinely grow (sharding is not
+    // free). Observed at these parameters: scalar k̂ ≈ 11.9, s=2 ≈ 30.9,
+    // s=4 ≈ 54.4 — ratios ≈ 2.6 and 4.6, tracking s closely. The bounds
+    // demand ratio within [s/2, 4s].
+    let scalar_tail = rank_tail(SimMultiQueue::new(K, StdRng::seed_from_u64(SEED)));
+    let scalar_k = 1.0 / fit_tail_exponent(&scalar_tail).expect("scalar fit");
+    for s in [2usize, 4] {
+        let sched = ShardedScheduler::from_fn(s, |i| {
+            SimMultiQueue::new(K, StdRng::seed_from_u64(shard_seed(SEED, i)))
+        });
+        let tail = rank_tail(sched);
+        let lambda = fit_tail_exponent(&tail)
+            .unwrap_or_else(|| panic!("sharded s={s}: tail has too few points to fit"));
+        assert!(lambda > 0.0, "sharded s={s}: rank tail does not decay");
+        let k_hat = 1.0 / lambda;
+        let ratio = k_hat / scalar_k;
+        assert!(
+            ratio >= s as f64 / 2.0 && ratio <= 4.0 * s as f64,
+            "sharded s={s}: k̂ = {k_hat:.1} is {ratio:.2}x the scalar k̂ = {scalar_k:.1}, \
+             outside the linear band [{}, {}]",
+            s as f64 / 2.0,
+            4.0 * s as f64
+        );
+    }
 }
 
 #[test]

@@ -1,5 +1,14 @@
 //! The concurrent relaxed executor: worker threads share a relaxed
 //! scheduler, re-inserting blocked tasks and dropping obsolete ones.
+//!
+//! One worker **engine** ([`worker_loop`]) drives every configuration; the
+//! scalar and batched executors differ only in their [`PopFlush`] strategy
+//! (how the next run of tasks is acquired and how failed deletes go back).
+//! Each worker carries a stable `worker_id` that is passed to the
+//! scheduler's [`ConcurrentScheduler::pop_for`]/
+//! [`ConcurrentScheduler::pop_batch_for`], so partitioned schedulers (e.g.
+//! `rsched_queues::sharded::ShardedScheduler`) can pin the worker to an
+//! affinity shard; monolithic schedulers ignore the hint by default.
 
 use super::{ConcurrentAlgorithm, TaskOutcome};
 use crate::stats::ConcurrentStats;
@@ -15,20 +24,15 @@ use std::time::Instant;
 /// stays cache-resident.
 const FILL_CHUNK: usize = 1024;
 
-/// Loads every task into `sched` with its permutation label as priority,
-/// bulk-loading through [`ConcurrentScheduler::insert_batch`] in chunks of
-/// [`FILL_CHUNK`].
-///
-/// Schedulers with a bulk-load constructor (e.g.
-/// `LockFreeMultiQueue::prefilled`) can be filled at construction instead;
-/// [`run_concurrent`] only requires that all `n` tasks are in the scheduler
-/// when it starts.
-pub fn fill_scheduler<S>(sched: &S, pi: &Permutation)
+/// Bulk-loads the tasks `lo..hi` into `sched` with their permutation labels
+/// as priorities, in [`FILL_CHUNK`]-sized `insert_batch` calls.
+fn fill_range<S>(sched: &S, pi: &Permutation, lo: u32, hi: u32)
 where
     S: ConcurrentScheduler<TaskId>,
 {
-    let mut buf: Vec<(u64, TaskId)> = Vec::with_capacity(FILL_CHUNK.min(pi.len()));
-    for v in 0..pi.len() as u32 {
+    let span = (hi - lo) as usize;
+    let mut buf: Vec<(u64, TaskId)> = Vec::with_capacity(FILL_CHUNK.min(span));
+    for v in lo..hi {
         buf.push((pi.label(v) as u64, v));
         if buf.len() == FILL_CHUNK {
             sched.insert_batch(&buf);
@@ -40,14 +44,209 @@ where
     }
 }
 
+/// Loads every task into `sched` with its permutation label as priority,
+/// bulk-loading through [`ConcurrentScheduler::insert_batch`] in chunks of
+/// [`FILL_CHUNK`].
+///
+/// Schedulers with a bulk-load constructor (e.g.
+/// `LockFreeMultiQueue::prefilled`) can be filled at construction instead;
+/// [`run_concurrent`] only requires that all `n` tasks are in the scheduler
+/// when it starts. For large task sets, [`fill_scheduler_parallel`] splits
+/// the load across threads.
+pub fn fill_scheduler<S>(sched: &S, pi: &Permutation)
+where
+    S: ConcurrentScheduler<TaskId>,
+{
+    fill_range(sched, pi, 0, pi.len() as u32);
+}
+
+/// [`fill_scheduler`] split across `threads` worker threads, each
+/// bulk-loading a contiguous range of the task space.
+///
+/// At paper-scale instance sizes the single-threaded bulk load dominates
+/// setup time; splitting it parallelizes both the batch staging and the
+/// scheduler-side work. Sharded schedulers benefit twice: their
+/// `insert_batch` groups each chunk by shard internally (one inner bulk call
+/// per shard touched), so concurrent fill threads mostly touch disjoint
+/// shards. With `threads == 1` this is exactly [`fill_scheduler`], same
+/// insert order and chunking, no threads spawned.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn fill_scheduler_parallel<S>(sched: &S, pi: &Permutation, threads: usize)
+where
+    S: ConcurrentScheduler<TaskId>,
+{
+    assert!(threads >= 1, "need at least one fill thread");
+    let n = pi.len() as u32;
+    if threads == 1 || n == 0 {
+        return fill_range(sched, pi, 0, n);
+    }
+    // Range math in u64: `lo + per` can exceed u32 when `n` is within
+    // `threads` of u32::MAX, and wrapping would silently drop the tail.
+    let per = n.div_ceil(threads as u32) as u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            let lo = (t * per).min(n as u64) as u32;
+            let hi = ((t + 1) * per).min(n as u64) as u32;
+            if lo >= hi {
+                break;
+            }
+            scope.spawn(move || fill_range(sched, pi, lo, hi));
+        }
+    });
+}
+
+/// Per-worker counters, flushed to the shared atomics once at worker exit.
+#[derive(Default)]
+struct WorkerCounters {
+    pops: u64,
+    processed: u64,
+    wasted: u64,
+    obsolete: u64,
+    empty: u64,
+}
+
+/// A worker's pop/flush strategy: how the next run of tasks is acquired and
+/// how the run's failed deletes return to the scheduler. This is the entire
+/// difference between the scalar and batched executors; everything else —
+/// termination, backoff, counter accounting, the process/blocked/obsolete
+/// dispatch — lives once in [`worker_loop`].
+trait PopFlush<S> {
+    /// Pops the next run into `run` (cleared by the engine) for `worker`;
+    /// returning 0 means the scheduler was observed empty (one empty
+    /// observation regardless of run size, so `empty_pops` stays comparable
+    /// across batch sizes).
+    fn pop_run(&mut self, sched: &S, worker: usize, run: &mut Vec<(u64, TaskId)>) -> usize;
+
+    /// Hands one failed delete back; may buffer until [`PopFlush::flush`].
+    fn give_back(&mut self, sched: &S, priority: u64, task: TaskId);
+
+    /// Flushes buffered failed deletes at the end of a run.
+    fn flush(&mut self, sched: &S);
+}
+
+/// The scalar strategy: one `pop_for` per run, immediate scalar re-insert.
+/// Its scheduler op sequence is exactly the pre-engine scalar executor's
+/// (pop → process → conditional insert), so `batch_size == 1` reproduces
+/// that executor bit-for-bit on the same seed.
+struct ScalarPopFlush;
+
+impl<S: ConcurrentScheduler<TaskId>> PopFlush<S> for ScalarPopFlush {
+    fn pop_run(&mut self, sched: &S, worker: usize, run: &mut Vec<(u64, TaskId)>) -> usize {
+        match sched.pop_for(worker) {
+            Some(e) => {
+                run.push(e);
+                1
+            }
+            None => 0,
+        }
+    }
+
+    fn give_back(&mut self, sched: &S, priority: u64, task: TaskId) {
+        // Immediately, inside the run — identical op order to the scalar
+        // executor this strategy replaces.
+        sched.insert(priority, task);
+    }
+
+    fn flush(&mut self, _sched: &S) {}
+}
+
+/// The batched strategy: one `pop_batch_for` per run, failed deletes
+/// buffered and returned in one `insert_batch` per run.
+struct BatchedPopFlush {
+    batch_size: usize,
+    blocked: Vec<(u64, TaskId)>,
+}
+
+impl<S: ConcurrentScheduler<TaskId>> PopFlush<S> for BatchedPopFlush {
+    fn pop_run(&mut self, sched: &S, worker: usize, run: &mut Vec<(u64, TaskId)>) -> usize {
+        sched.pop_batch_for(worker, run, self.batch_size)
+    }
+
+    fn give_back(&mut self, _sched: &S, priority: u64, task: TaskId) {
+        self.blocked.push((priority, task));
+    }
+
+    fn flush(&mut self, sched: &S) {
+        if !self.blocked.is_empty() {
+            // All failed deletes of the batch go back in one
+            // synchronization round-trip.
+            sched.insert_batch(&self.blocked);
+            self.blocked.clear();
+        }
+    }
+}
+
+/// The worker engine: pops runs via `strategy`, processes each task, hands
+/// failed deletes back, and spins briefly on empty observations (a blocked
+/// task may be in another worker's hands, about to be re-inserted).
+/// Termination is by the algorithm's remaining-task counter, not scheduler
+/// emptiness — dead MIS vertices may still sit in the queue when the run
+/// completes.
+fn worker_loop<A, S, P>(
+    alg: &A,
+    sched: &S,
+    worker: usize,
+    mut strategy: P,
+    run_capacity: usize,
+) -> WorkerCounters
+where
+    A: ConcurrentAlgorithm,
+    S: ConcurrentScheduler<TaskId>,
+    P: PopFlush<S>,
+{
+    let mut c = WorkerCounters::default();
+    let backoff = Backoff::new();
+    let mut run: Vec<(u64, TaskId)> = Vec::with_capacity(run_capacity);
+    // Adaptive affinity: a run with zero progress (every popped task
+    // blocked) means this worker is ahead of the dependency frontier — the
+    // tasks its scheduler partition serves are waiting on tasks housed
+    // elsewhere. The hint drifts one partition forward per stuck run and
+    // *stays* wherever runs make progress (sticky — deliberately never
+    // snapping back to `worker`, which re-blocks immediately when the home
+    // shard is ahead; on the 1-CPU figure2 quick/sparse MIS at s=4, t=1,
+    // extra iterations measured ~691k with no drift, ~131k with snap-back
+    // drift, ~1.4k with sticky drift). Workers chase the frontier
+    // instead of churning failed deletes in place; for monolithic
+    // schedulers the hint is ignored and the drift is free.
+    let mut hint = worker;
+    while alg.remaining() > 0 {
+        run.clear();
+        let got = strategy.pop_run(sched, hint, &mut run);
+        if got == 0 {
+            c.empty += 1;
+            backoff.snooze();
+            continue;
+        }
+        backoff.reset();
+        let mut blocked_in_run = 0usize;
+        for &(priority, v) in &run {
+            c.pops += 1;
+            match alg.try_process(v) {
+                TaskOutcome::Processed => c.processed += 1,
+                TaskOutcome::Blocked => {
+                    c.wasted += 1;
+                    blocked_in_run += 1;
+                    strategy.give_back(sched, priority, v);
+                }
+                TaskOutcome::Obsolete => c.obsolete += 1,
+            }
+        }
+        strategy.flush(sched);
+        if blocked_in_run == got {
+            hint = hint.wrapping_add(1);
+        }
+    }
+    c
+}
+
 /// Runs `alg` to completion on `threads` workers sharing `sched`.
 ///
 /// Workers pop, call [`ConcurrentAlgorithm::try_process`], re-insert blocked
 /// tasks with their original priority, and spin briefly when the scheduler
-/// looks empty (a blocked task may be in another worker's hands, about to be
-/// re-inserted). Termination is by the algorithm's remaining-task counter,
-/// not scheduler emptiness — dead MIS vertices may still sit in the queue
-/// when the run completes.
+/// looks empty (see [`worker_loop`]).
 ///
 /// # Panics
 ///
@@ -64,14 +263,21 @@ where
 /// to `batch_size` tasks, process them locally, and re-insert every blocked
 /// task of the batch in one [`ConcurrentScheduler::insert_batch`].
 ///
-/// `batch_size == 1` takes the exact scalar `pop`/`insert` path of the
-/// original executor, so it reproduces its behavior bit-for-bit on the same
-/// seed. Larger batches amortize scheduler synchronization at the price of
-/// extra relaxation: a batch is popped in full before any of its tasks is
-/// processed, so a `k`-relaxed scheduler drives the algorithm like an
+/// `batch_size == 1` drives the engine with the scalar strategy, whose
+/// scheduler op sequence is exactly the original scalar executor's, so it
+/// reproduces its behavior bit-for-bit on the same seed. Larger batches
+/// amortize scheduler synchronization at the price of extra relaxation: a
+/// batch is popped in full before any of its tasks is processed, so a
+/// `k`-relaxed scheduler drives the algorithm like an
 /// `O(k·batch_size)`-relaxed one and Theorem 2's waste bound degrades
 /// accordingly (gracefully — waste stays `poly(k·batch_size)`, independent
 /// of `n`).
+///
+/// Every worker passes its index to the scheduler through
+/// [`ConcurrentScheduler::pop_for`]/[`ConcurrentScheduler::pop_batch_for`];
+/// sharded schedulers use it to pin the worker to an affinity shard
+/// (relaxation then grows with the shard count instead: `O(k·s)` — see
+/// DESIGN.md "Sharding semantics").
 ///
 /// Counter semantics across batch sizes: `total_pops` counts popped
 /// *elements*; `empty_pops` counts empty *observations* — a `pop_batch`
@@ -103,72 +309,23 @@ where
     let empty_pops = AtomicU64::new(0);
     let start = Instant::now();
     std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                // Thread-local counters; one atomic flush at exit.
-                let (mut l_pops, mut l_proc, mut l_waste, mut l_obs, mut l_empty) =
-                    (0u64, 0u64, 0u64, 0u64, 0u64);
-                let backoff = Backoff::new();
-                if batch_size == 1 {
-                    // Scalar path, bit-for-bit the pre-batching executor.
-                    while alg.remaining() > 0 {
-                        match sched.pop() {
-                            Some((priority, v)) => {
-                                backoff.reset();
-                                l_pops += 1;
-                                match alg.try_process(v) {
-                                    TaskOutcome::Processed => l_proc += 1,
-                                    TaskOutcome::Blocked => {
-                                        l_waste += 1;
-                                        sched.insert(priority, v);
-                                    }
-                                    TaskOutcome::Obsolete => l_obs += 1,
-                                }
-                            }
-                            None => {
-                                l_empty += 1;
-                                backoff.snooze();
-                            }
-                        }
-                    }
+        for worker in 0..threads {
+            let (pops, processed, wasted, obsolete, empty_pops) =
+                (&pops, &processed, &wasted, &obsolete, &empty_pops);
+            s.spawn(move || {
+                let c = if batch_size == 1 {
+                    worker_loop(alg, sched, worker, ScalarPopFlush, 1)
                 } else {
-                    let mut batch: Vec<(u64, TaskId)> = Vec::with_capacity(batch_size);
-                    let mut blocked: Vec<(u64, TaskId)> = Vec::with_capacity(batch_size);
-                    while alg.remaining() > 0 {
-                        batch.clear();
-                        if sched.pop_batch(&mut batch, batch_size) == 0 {
-                            // One empty *observation*, not `batch_size` of
-                            // them: keeps empty_pops comparable across
-                            // batch sizes.
-                            l_empty += 1;
-                            backoff.snooze();
-                            continue;
-                        }
-                        backoff.reset();
-                        for &(priority, v) in &batch {
-                            l_pops += 1;
-                            match alg.try_process(v) {
-                                TaskOutcome::Processed => l_proc += 1,
-                                TaskOutcome::Blocked => {
-                                    l_waste += 1;
-                                    blocked.push((priority, v));
-                                }
-                                TaskOutcome::Obsolete => l_obs += 1,
-                            }
-                        }
-                        if !blocked.is_empty() {
-                            // All failed deletes of the batch go back in one
-                            // synchronization round-trip.
-                            sched.insert_batch(&blocked);
-                            blocked.clear();
-                        }
-                    }
-                }
-                pops.fetch_add(l_pops, Ordering::Relaxed);
-                processed.fetch_add(l_proc, Ordering::Relaxed);
-                wasted.fetch_add(l_waste, Ordering::Relaxed);
-                obsolete.fetch_add(l_obs, Ordering::Relaxed);
-                empty_pops.fetch_add(l_empty, Ordering::Relaxed);
+                    let strategy =
+                        BatchedPopFlush { batch_size, blocked: Vec::with_capacity(batch_size) };
+                    worker_loop(alg, sched, worker, strategy, batch_size)
+                };
+                // Thread-local counters; one atomic flush at exit.
+                pops.fetch_add(c.pops, Ordering::Relaxed);
+                processed.fetch_add(c.processed, Ordering::Relaxed);
+                wasted.fetch_add(c.wasted, Ordering::Relaxed);
+                obsolete.fetch_add(c.obsolete, Ordering::Relaxed);
+                empty_pops.fetch_add(c.empty, Ordering::Relaxed);
             });
         }
     });
@@ -181,5 +338,172 @@ where
         obsolete: obsolete.into_inner(),
         empty_pops: empty_pops.into_inner(),
         elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_queues::sharded::ShardedScheduler;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    use std::sync::Mutex;
+
+    /// A deterministic exact concurrent scheduler (one mutex-guarded heap)
+    /// that logs every operation, for op-sequence equivalence tests.
+    #[derive(Debug, Default)]
+    struct LoggedHeap {
+        heap: Mutex<BinaryHeap<Reverse<(u64, TaskId)>>>,
+        log: Mutex<Vec<String>>,
+    }
+
+    impl ConcurrentScheduler<TaskId> for LoggedHeap {
+        fn insert(&self, priority: u64, item: TaskId) {
+            self.log.lock().unwrap().push(format!("insert {priority}"));
+            self.heap.lock().unwrap().push(Reverse((priority, item)));
+        }
+        fn pop(&self) -> Option<(u64, TaskId)> {
+            self.log.lock().unwrap().push("pop".into());
+            self.heap.lock().unwrap().pop().map(|Reverse(e)| e)
+        }
+    }
+
+    /// A permutation-chain algorithm: task at label `i` depends on the task
+    /// at label `i − 1`, forcing retries under any relaxed order.
+    struct Chain<'p> {
+        pi: &'p Permutation,
+        done: Vec<std::sync::atomic::AtomicBool>,
+        remaining: std::sync::atomic::AtomicUsize,
+    }
+
+    impl<'p> Chain<'p> {
+        fn new(pi: &'p Permutation) -> Self {
+            Chain {
+                pi,
+                done: (0..pi.len()).map(|_| std::sync::atomic::AtomicBool::new(false)).collect(),
+                remaining: std::sync::atomic::AtomicUsize::new(pi.len()),
+            }
+        }
+    }
+
+    impl ConcurrentAlgorithm for Chain<'_> {
+        fn num_tasks(&self) -> usize {
+            self.done.len()
+        }
+        fn remaining(&self) -> usize {
+            self.remaining.load(Ordering::Acquire)
+        }
+        fn try_process(&self, task: TaskId) -> TaskOutcome {
+            let pos = self.pi.label(task);
+            let ready =
+                pos == 0 || self.done[self.pi.task_at(pos - 1) as usize].load(Ordering::Acquire);
+            if ready {
+                self.done[task as usize].store(true, Ordering::Release);
+                self.remaining.fetch_sub(1, Ordering::AcqRel);
+                TaskOutcome::Processed
+            } else {
+                TaskOutcome::Blocked
+            }
+        }
+    }
+
+    /// The engine's scalar strategy at one thread must issue the exact op
+    /// sequence of the pre-engine scalar executor: pop → (insert on
+    /// blocked) → pop → …, never buffering re-inserts.
+    #[test]
+    fn scalar_engine_op_sequence_is_pop_then_immediate_insert() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let pi = Permutation::random(30, &mut StdRng::seed_from_u64(3));
+        let sched = LoggedHeap::default();
+        fill_scheduler(&sched, &pi);
+        sched.log.lock().unwrap().clear();
+        let alg = Chain::new(&pi);
+        let stats = run_concurrent(&alg, &pi, &sched, 1);
+        assert_eq!(stats.processed, 30);
+        let log = sched.log.lock().unwrap().clone();
+        // With an exact scheduler on one thread nothing ever blocks, so the
+        // log is exactly `total_pops` pops and no inserts.
+        assert_eq!(stats.wasted, 0);
+        assert_eq!(log.len() as u64, stats.total_pops + stats.empty_pops);
+        assert!(log.iter().all(|op| op == "pop"));
+    }
+
+    /// One shard must behave exactly like the bare inner scheduler under
+    /// the engine (same stats on a deterministic single-thread run).
+    #[test]
+    fn sharded_one_is_engine_equivalent_to_bare_inner() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let pi = Permutation::random(200, &mut StdRng::seed_from_u64(9));
+        let bare = LoggedHeap::default();
+        fill_scheduler(&bare, &pi);
+        let alg = Chain::new(&pi);
+        let bare_stats = run_concurrent(&alg, &pi, &bare, 1);
+
+        let sharded = ShardedScheduler::from_fn(1, |_| LoggedHeap::default());
+        fill_scheduler(&sharded, &pi);
+        let alg = Chain::new(&pi);
+        let sharded_stats = run_concurrent(&alg, &pi, &sharded, 1);
+
+        assert_eq!(bare_stats.total_pops, sharded_stats.total_pops);
+        assert_eq!(bare_stats.processed, sharded_stats.processed);
+        assert_eq!(bare_stats.wasted, sharded_stats.wasted);
+        assert_eq!(*bare.log.lock().unwrap(), *sharded.shards()[0].log.lock().unwrap());
+    }
+
+    #[test]
+    fn parallel_fill_loads_every_task_exactly_once() {
+        use rand::{rngs::StdRng, SeedableRng};
+        use rsched_queues::concurrent::MultiQueue;
+        let pi = Permutation::random(5_000, &mut StdRng::seed_from_u64(5));
+        for threads in [1usize, 2, 4, 7] {
+            let sched: MultiQueue<TaskId> = MultiQueue::new(4);
+            fill_scheduler_parallel(&sched, &pi, threads);
+            assert_eq!(sched.len(), 5_000, "threads={threads}");
+            let mut seen = vec![false; 5_000];
+            while let Some((p, v)) = sched.pop() {
+                assert_eq!(p, pi.label(v) as u64, "priority must be the label");
+                assert!(!std::mem::replace(&mut seen[v as usize], true), "task {v} twice");
+            }
+            assert!(seen.iter().all(|&s| s), "threads={threads}: tasks missing");
+        }
+    }
+
+    #[test]
+    fn parallel_fill_into_sharded_scheduler_routes_correctly() {
+        use rand::{rngs::StdRng, SeedableRng};
+        use rsched_queues::concurrent::MultiQueue;
+        let pi = Permutation::random(4_000, &mut StdRng::seed_from_u64(6));
+        let sched: ShardedScheduler<MultiQueue<TaskId>> =
+            ShardedScheduler::from_fn(4, |_| MultiQueue::new(2));
+        fill_scheduler_parallel(&sched, &pi, 4);
+        let mut count = 0usize;
+        for (shard, inner) in sched.shards().iter().enumerate() {
+            while let Some((_, v)) = inner.pop() {
+                assert_eq!(sched.shard_for(&v), shard, "task {v} filled into wrong shard");
+                count += 1;
+            }
+        }
+        assert_eq!(count, 4_000);
+    }
+
+    #[test]
+    fn engine_runs_chain_on_sharded_scheduler_all_batch_sizes() {
+        use rand::{rngs::StdRng, SeedableRng};
+        use rsched_queues::concurrent::MultiQueue;
+        let pi = Permutation::random(500, &mut StdRng::seed_from_u64(12));
+        for shards in [1usize, 3] {
+            for batch in [1usize, 8] {
+                for threads in [1usize, 4] {
+                    let sched: ShardedScheduler<MultiQueue<TaskId>> =
+                        ShardedScheduler::from_fn(shards, |_| MultiQueue::new(2));
+                    fill_scheduler_parallel(&sched, &pi, threads);
+                    let alg = Chain::new(&pi);
+                    let stats = run_concurrent_batched(&alg, &pi, &sched, threads, batch);
+                    assert_eq!(alg.remaining(), 0, "s={shards} b={batch} t={threads}");
+                    assert_eq!(stats.processed, 500);
+                    assert_eq!(stats.total_pops, stats.processed + stats.wasted + stats.obsolete);
+                }
+            }
+        }
     }
 }

@@ -44,6 +44,7 @@ mod indexed_set;
 pub mod instrument;
 pub mod relaxed;
 pub(crate) mod rng;
+pub mod sharded;
 
 pub use entry::Entry;
 pub use indexed_set::IndexedSet;
@@ -191,6 +192,27 @@ pub trait ConcurrentScheduler<T: Send>: Send + Sync {
             }
         }
         got
+    }
+
+    /// [`ConcurrentScheduler::pop`] with a caller identity: `worker` is a
+    /// stable small integer (the executor passes its worker index).
+    ///
+    /// The default ignores the hint — for a monolithic scheduler every
+    /// worker sees the same structure. Partitioned schedulers (e.g.
+    /// [`sharded::ShardedScheduler`]) override it to serve the worker from
+    /// an *affinity* partition first, falling back to stealing elsewhere
+    /// only when that partition is observed empty, so the hint changes
+    /// which element is returned but never the emptiness semantics.
+    fn pop_for(&self, worker: usize) -> Option<(u64, T)> {
+        let _ = worker;
+        self.pop()
+    }
+
+    /// [`ConcurrentScheduler::pop_batch`] with a caller identity; same
+    /// contract and default as [`ConcurrentScheduler::pop_for`].
+    fn pop_batch_for(&self, worker: usize, out: &mut Vec<(u64, T)>, max: usize) -> usize {
+        let _ = worker;
+        self.pop_batch(out, max)
     }
 }
 

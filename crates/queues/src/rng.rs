@@ -15,12 +15,22 @@ thread_local! {
     static STATE: Cell<u64> = Cell::new(fresh_seed());
 }
 
-fn fresh_seed() -> u64 {
-    // SplitMix64 step over a global counter: distinct, well-mixed per thread.
-    let mut z = SEED_COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+/// The SplitMix64 finalizer: a full-avalanche bijective mix, shared by the
+/// per-thread seeder below and the sharding router's hash finalization.
+#[inline]
+pub(crate) fn splitmix64(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    (z ^ (z >> 31)) | 1 // xorshift state must be non-zero
+    z ^ (z >> 31)
+}
+
+fn fresh_seed() -> u64 {
+    // SplitMix64 step over a global counter: distinct, well-mixed per thread.
+    let z = SEED_COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    // The counter already strides by the SplitMix increment, so mix the raw
+    // value (splitmix64 adds the same increment once more — harmless).
+    splitmix64(z) | 1 // xorshift state must be non-zero
 }
 
 /// Returns the next thread-local pseudo-random `u64`.

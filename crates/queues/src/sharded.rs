@@ -1,0 +1,606 @@
+//! Sharding combinator: partition the task space across independent
+//! scheduler instances.
+//!
+//! [`ShardedScheduler<S>`] owns `s` inner schedulers and routes every
+//! element to one of them by a **stable task hash** (same task → same shard,
+//! always — see [`shard_index`]). Re-inserted failed deletes therefore land
+//! back in the shard they came from, and a prefilled shard holds exactly the
+//! elements `insert` would have routed to it. The combinator composes with
+//! any inner scheduler implementing either scheduler trait:
+//!
+//! * as a [`PriorityScheduler`] it is the sequential *model* of sharded
+//!   execution (a deterministic round-robin cursor stands in for the worker
+//!   rotation), which the `rank_tails` binary instruments to measure the
+//!   relaxation sharding buys;
+//! * as a [`ConcurrentScheduler`] it is the production combinator: workers
+//!   pin an **affinity shard** through
+//!   [`ConcurrentScheduler::pop_for`]/[`ConcurrentScheduler::pop_batch_for`]
+//!   (shard `worker % s`) and fall back to a round-robin *steal* over the
+//!   remaining shards only when their own shard is observed empty, so the
+//!   common case touches no shared state outside the worker's shard.
+//!
+//! Relaxation cost: each pop sees only its shard's minimum, so elements in
+//! the other `s − 1` shards may be overtaken even by an exact inner
+//! scheduler. A `k`-relaxed inner scheduler sharded `s` ways behaves like an
+//! `O(k·s)`-relaxed scheduler — Definition 1's exponential tails survive
+//! with the decay constant scaled by `s` (measured by `rank_tails`, pinned
+//! in `rank_tail_fit.rs`; see DESIGN.md "Sharding semantics").
+
+use crate::{rng, ConcurrentScheduler, PriorityScheduler};
+use std::hash::{Hash, Hasher};
+
+/// Multiplier of the FxHash folding step (the golden-ratio constant used by
+/// rustc's hasher).
+const FX_K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One in this many affinity pops starts at a uniformly random shard
+/// instead of the worker's own. Affinity is a fast-path *bias*, not a
+/// partition: with fewer workers than shards, a worker whose own shard
+/// never drains would otherwise starve the unserved shards outright — a
+/// dependency chained across shards then livelocks (the ready task is never
+/// popped), violating the fairness half of Definition 1. The periodic
+/// random start gives every shard positive probe probability on every pop,
+/// restoring probabilistic fairness at an ~1/8 dilution of locality.
+const STEAL_PERIOD: usize = 8;
+
+/// An FxHash-style word-folding hasher, written out locally so shard routing
+/// is deterministic across runs and toolchains (`DefaultHasher` promises
+/// neither).
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// The shard an item routes to: stable (a pure function of the item and the
+/// shard count), uniform (FxHash fold + SplitMix64 finalizer + Lemire range
+/// reduction), and shared by `insert`, re-insertion, and prefill grouping.
+#[inline]
+pub fn shard_index<T: Hash + ?Sized>(item: &T, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    if shards == 1 {
+        return 0;
+    }
+    let mut h = FxHasher { hash: 0 };
+    item.hash(&mut h);
+    // SplitMix64 finalizer: the Fx fold alone leaves low-entropy high bits
+    // for small keys, and Lemire reduction selects by the high bits.
+    let z = rng::splitmix64(h.finish());
+    ((z as u128 * shards as u128) >> 64) as usize
+}
+
+/// `s` independent inner schedulers with stable-hash routing; see the
+/// [module docs](self) for semantics.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::sharded::ShardedScheduler;
+/// use rsched_queues::concurrent::MultiQueue;
+/// use rsched_queues::ConcurrentScheduler;
+///
+/// let q: ShardedScheduler<MultiQueue<u32>> =
+///     ShardedScheduler::from_fn(4, |_| MultiQueue::new(2));
+/// for p in 0..100u64 {
+///     q.insert(p, p as u32);
+/// }
+/// // Worker 3 pops from its affinity shard (3 % 4), stealing if empty.
+/// assert!(q.pop_for(3).is_some());
+/// ```
+#[derive(Debug)]
+pub struct ShardedScheduler<S> {
+    shards: Box<[S]>,
+    /// Round-robin pop cursor of the *sequential* model; the concurrent impl
+    /// never touches it (workers carry their own affinity instead).
+    cursor: usize,
+}
+
+impl<S> ShardedScheduler<S> {
+    /// Wraps the given inner schedulers, one per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inners` is empty.
+    pub fn new(inners: Vec<S>) -> Self {
+        assert!(!inners.is_empty(), "need at least one shard");
+        ShardedScheduler { shards: inners.into_boxed_slice(), cursor: 0 }
+    }
+
+    /// Builds `shards` inner schedulers with `make(shard_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn from_fn<F>(shards: usize, make: F) -> Self
+    where
+        F: FnMut(usize) -> S,
+    {
+        assert!(shards >= 1, "need at least one shard");
+        Self::new((0..shards).map(make).collect())
+    }
+
+    /// Groups `entries` by [`shard_index`] and builds each inner scheduler
+    /// from its group with `make(shard, group)` — the prefill counterpart of
+    /// the hash routing, so a prefilled element sits exactly where `insert`
+    /// would have put it. Shard construction (typically the sort of a
+    /// `BulkMultiQueue` run) proceeds on one thread per shard, so bulk loads
+    /// no longer serialize behind a single core at paper scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, or if a shard-builder thread panics.
+    pub fn prefilled_with<T, I, F>(shards: usize, entries: I, make: F) -> Self
+    where
+        T: Hash + Send,
+        I: IntoIterator<Item = (u64, T)>,
+        F: Fn(usize, Vec<(u64, T)>) -> S + Sync,
+        S: Send,
+    {
+        assert!(shards >= 1, "need at least one shard");
+        let mut groups: Vec<Vec<(u64, T)>> = (0..shards).map(|_| Vec::new()).collect();
+        for (priority, item) in entries {
+            groups[shard_index(&item, shards)].push((priority, item));
+        }
+        if shards == 1 {
+            let group = groups.pop().expect("one group");
+            return Self::new(vec![make(0, group)]);
+        }
+        let make = &make;
+        let inners: Vec<S> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .enumerate()
+                .map(|(i, group)| scope.spawn(move || make(i, group)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard builder panicked")).collect()
+        });
+        Self::new(inners)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The inner schedulers, indexed by shard.
+    pub fn shards(&self) -> &[S] {
+        &self.shards
+    }
+
+    /// The shard `item` routes to.
+    pub fn shard_for<T: Hash + ?Sized>(&self, item: &T) -> usize {
+        shard_index(item, self.shards.len())
+    }
+}
+
+/// Groups `entries` by shard, preserving slice order within each group, and
+/// feeds every non-empty group to `sink(shard, group)` — the amortization
+/// core of both `insert_batch` impls: one inner bulk call per shard touched
+/// instead of one routing decision *and* one inner call per element.
+fn scatter_batch<T, F>(entries: &[(u64, T)], shards: usize, mut sink: F)
+where
+    T: Clone + Hash,
+    F: FnMut(usize, &[(u64, T)]),
+{
+    let mut groups: Vec<Vec<(u64, T)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (priority, item) in entries {
+        groups[shard_index(item, shards)].push((*priority, item.clone()));
+    }
+    for (shard, group) in groups.iter().enumerate() {
+        if !group.is_empty() {
+            sink(shard, group);
+        }
+    }
+}
+
+impl<T, S> PriorityScheduler<T> for ShardedScheduler<S>
+where
+    T: Hash,
+    S: PriorityScheduler<T>,
+{
+    fn insert(&mut self, priority: u64, item: T) {
+        let shard = self.shard_for(&item);
+        self.shards[shard].insert(priority, item);
+    }
+
+    /// Round-robin across shards: pops from the cursor shard (probing
+    /// forward past empty shards) and advances the cursor, modeling workers
+    /// pinned one-per-shard taking turns. With one shard this is exactly the
+    /// inner scheduler's `pop`.
+    fn pop(&mut self) -> Option<(u64, T)> {
+        let s = self.shards.len();
+        for probe in 0..s {
+            let idx = (self.cursor + probe) % s;
+            if let Some(e) = self.shards[idx].pop() {
+                self.cursor = (idx + 1) % s;
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|q| q.len()).sum()
+    }
+
+    fn insert_batch(&mut self, entries: &[(u64, T)])
+    where
+        T: Clone,
+    {
+        let s = self.shards.len();
+        if s == 1 {
+            // Pass-through keeps the one-shard configuration bit-for-bit
+            // identical to the bare inner scheduler (no regrouping clone).
+            return self.shards[0].insert_batch(entries);
+        }
+        if entries.len() <= s {
+            // Expected group size ≤ 1: grouping buffers buy nothing, so
+            // route elementwise (the hot path for an executor flushing a
+            // handful of blocked tasks per run).
+            for (priority, item) in entries {
+                self.insert(*priority, item.clone());
+            }
+            return;
+        }
+        let shards = &mut self.shards;
+        scatter_batch(entries, s, |shard, group| shards[shard].insert_batch(group));
+    }
+
+    /// Pops the batch from the first non-empty shard at or after the cursor
+    /// (one inner `pop_batch` per shard probed, at most `s` probes), then
+    /// advances the cursor. A batch never spans shards: partial batches
+    /// carry no emptiness signal, exactly as for the inner schedulers.
+    fn pop_batch(&mut self, out: &mut Vec<(u64, T)>, max: usize) -> usize {
+        let s = self.shards.len();
+        for probe in 0..s {
+            let idx = (self.cursor + probe) % s;
+            let got = self.shards[idx].pop_batch(out, max);
+            if got > 0 {
+                self.cursor = (idx + 1) % s;
+                return got;
+            }
+        }
+        0
+    }
+}
+
+/// The shard an affinity pop starts probing at: the worker's own shard,
+/// except for the 1-in-[`STEAL_PERIOD`] fairness probe (see [`STEAL_PERIOD`]).
+#[inline]
+fn start_shard(worker: usize, shards: usize) -> usize {
+    if rng::next_index(STEAL_PERIOD) == 0 {
+        rng::next_index(shards)
+    } else {
+        worker % shards
+    }
+}
+
+/// Scalar pop probing `shards` round-robin from `start`.
+fn pop_from<T, S>(shards: &[S], start: usize) -> Option<(u64, T)>
+where
+    T: Send,
+    S: ConcurrentScheduler<T>,
+{
+    let s = shards.len();
+    for probe in 0..s {
+        if let Some(e) = shards[(start + probe) % s].pop() {
+            return Some(e);
+        }
+    }
+    None
+}
+
+/// Batched pop from the first non-empty shard probing round-robin from
+/// `start`; a batch never spans shards.
+fn pop_batch_from<T, S>(shards: &[S], start: usize, out: &mut Vec<(u64, T)>, max: usize) -> usize
+where
+    T: Send,
+    S: ConcurrentScheduler<T>,
+{
+    let s = shards.len();
+    for probe in 0..s {
+        let got = shards[(start + probe) % s].pop_batch(out, max);
+        if got > 0 {
+            return got;
+        }
+    }
+    0
+}
+
+impl<T, S> ConcurrentScheduler<T> for ShardedScheduler<S>
+where
+    T: Send + Hash,
+    S: ConcurrentScheduler<T>,
+{
+    fn insert(&self, priority: u64, item: T) {
+        let shard = self.shard_for(&item);
+        self.shards[shard].insert(priority, item);
+    }
+
+    /// Unpinned pop: starts at a random shard (spreading unpinned callers
+    /// uniformly) and probes round-robin. Workers with an identity should
+    /// prefer [`ConcurrentScheduler::pop_for`].
+    fn pop(&self) -> Option<(u64, T)> {
+        let s = self.shards.len();
+        if s == 1 {
+            return self.shards[0].pop();
+        }
+        pop_from(&self.shards, rng::next_index(s))
+    }
+
+    /// Affinity pop: shard `worker % s` first (with the 1-in-[`STEAL_PERIOD`]
+    /// random start — see its docs), round-robin steal on empty.
+    fn pop_for(&self, worker: usize) -> Option<(u64, T)> {
+        let s = self.shards.len();
+        if s == 1 {
+            return self.shards[0].pop();
+        }
+        pop_from(&self.shards, start_shard(worker, s))
+    }
+
+    fn insert_batch(&self, entries: &[(u64, T)])
+    where
+        T: Clone,
+    {
+        let s = self.shards.len();
+        if s == 1 {
+            return self.shards[0].insert_batch(entries);
+        }
+        if entries.len() <= s {
+            // Expected group size ≤ 1: route elementwise, no grouping
+            // buffers (the executor's per-run blocked flush is tiny).
+            for (priority, item) in entries {
+                self.insert(*priority, item.clone());
+            }
+            return;
+        }
+        scatter_batch(entries, s, |shard, group| self.shards[shard].insert_batch(group));
+    }
+
+    fn pop_batch(&self, out: &mut Vec<(u64, T)>, max: usize) -> usize {
+        let s = self.shards.len();
+        if s == 1 {
+            return self.shards[0].pop_batch(out, max);
+        }
+        pop_batch_from(&self.shards, rng::next_index(s), out, max)
+    }
+
+    /// Affinity batch pop: drains the worker's own shard (`worker % s`, with
+    /// the 1-in-[`STEAL_PERIOD`] random start — see its docs) and steals
+    /// round-robin when it is observed empty.
+    fn pop_batch_for(&self, worker: usize, out: &mut Vec<(u64, T)>, max: usize) -> usize {
+        let s = self.shards.len();
+        if s == 1 {
+            return self.shards[0].pop_batch(out, max);
+        }
+        pop_batch_from(&self.shards, start_shard(worker, s), out, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::{LockFreeMultiQueue, MultiQueue};
+    use crate::exact::BinaryHeapScheduler;
+    use crate::relaxed::SimMultiQueue;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 7, 16] {
+            for item in 0u32..500 {
+                let a = shard_index(&item, shards);
+                assert!(a < shards);
+                assert_eq!(a, shard_index(&item, shards), "routing must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_roughly_uniform() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for item in 0u32..16_000 {
+            counts[shard_index(&item, shards)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((1_000..3_000).contains(&c), "shard {i} holds {c} of 16000");
+        }
+    }
+
+    #[test]
+    fn single_shard_is_bit_identical_to_inner_sequential() {
+        // Same seed, same op sequence: the sharded(1) wrapper must consume
+        // the inner scheduler's RNG identically and return identical pops.
+        let mut bare = SimMultiQueue::new(4, StdRng::seed_from_u64(11));
+        let mut sharded =
+            ShardedScheduler::from_fn(1, |_| SimMultiQueue::new(4, StdRng::seed_from_u64(11)));
+        for p in 0..300u64 {
+            bare.insert(p, p as u32);
+            sharded.insert(p, p as u32);
+        }
+        loop {
+            let a = bare.pop();
+            let b = sharded.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_round_robin_drains_exactly_once() {
+        let mut q = ShardedScheduler::from_fn(7, |_| BinaryHeapScheduler::new());
+        for p in 0..1_000u64 {
+            q.insert(p, p as u32);
+        }
+        assert_eq!(q.len(), 1_000);
+        let mut seen = HashSet::new();
+        while let Some((_, v)) = q.pop() {
+            assert!(seen.insert(v), "element {v} popped twice");
+        }
+        assert_eq!(seen.len(), 1_000);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_affinity_pop_steals_when_own_shard_empty() {
+        let q: ShardedScheduler<MultiQueue<u32>> =
+            ShardedScheduler::from_fn(4, |_| MultiQueue::new(2));
+        // Put everything in whatever shards the items route to; a worker
+        // whose affinity shard is empty must still drain the rest.
+        for p in 0..64u64 {
+            ConcurrentScheduler::insert(&q, p, p as u32);
+        }
+        let mut seen = HashSet::new();
+        while let Some((_, v)) = q.pop_for(3) {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), 64, "affinity pop with steal must drain all shards");
+    }
+
+    #[test]
+    fn concurrent_batch_ops_group_by_shard() {
+        let q: ShardedScheduler<MultiQueue<u64>> =
+            ShardedScheduler::from_fn(4, |_| MultiQueue::new(2));
+        let entries: Vec<(u64, u64)> = (0..200u64).map(|i| (i, i)).collect();
+        ConcurrentScheduler::insert_batch(&q, &entries);
+        // Every element sits in the shard the router assigns it.
+        for (shard, inner) in q.shards().iter().enumerate() {
+            let mut buf = Vec::new();
+            while inner.pop_batch(&mut buf, 16) > 0 {}
+            for &(_, v) in &buf {
+                assert_eq!(q.shard_for(&v), shard, "element {v} in wrong shard");
+            }
+        }
+    }
+
+    #[test]
+    fn reinserted_element_returns_to_its_shard() {
+        let q: ShardedScheduler<MultiQueue<u32>> =
+            ShardedScheduler::from_fn(8, |_| MultiQueue::new(2));
+        for p in 0..100u64 {
+            ConcurrentScheduler::insert(&q, p, p as u32);
+        }
+        let (priority, v) = q.pop_for(0).expect("non-empty");
+        let home = q.shard_for(&v);
+        ConcurrentScheduler::insert(&q, priority, v);
+        // The re-inserted element is in its home shard: popping only that
+        // shard's inner queue must eventually surface it.
+        let mut found = false;
+        while let Some((_, u)) = q.shards()[home].pop() {
+            if u == v {
+                found = true;
+            }
+        }
+        assert!(found, "re-inserted element left its home shard");
+    }
+
+    #[test]
+    fn prefilled_with_matches_insert_routing() {
+        let entries: Vec<(u64, u32)> = (0..500u64).map(|i| (i, i as u32)).collect();
+        let q: ShardedScheduler<LockFreeMultiQueue<u32>> =
+            ShardedScheduler::prefilled_with(7, entries, |_, group| {
+                LockFreeMultiQueue::prefilled(2, group)
+            });
+        for (shard, inner) in q.shards().iter().enumerate() {
+            while let Some((_, v)) = inner.pop() {
+                assert_eq!(q.shard_for(&v), shard, "prefilled {v} routed to wrong shard");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_pop_batch_never_spans_shards() {
+        let mut q = ShardedScheduler::from_fn(4, |_| BinaryHeapScheduler::new());
+        for p in 0..400u64 {
+            q.insert(p, p as u32);
+        }
+        let mut total = 0usize;
+        let mut buf: Vec<(u64, u32)> = Vec::new();
+        loop {
+            buf.clear();
+            let got = q.pop_batch(&mut buf, 32);
+            if got == 0 {
+                break;
+            }
+            assert!(got <= 32);
+            // All entries of one batch route to one shard.
+            let shard = q.shard_for(&buf[0].1);
+            assert!(buf.iter().all(|(_, v)| q.shard_for(v) == shard));
+            total += got;
+        }
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn affinity_pop_cannot_starve_foreign_shards() {
+        // Livelock regression: worker 0's own shard never drains (every pop
+        // is re-inserted, as the executor does with blocked tasks), while
+        // the only "ready" element sits in a different shard. The 1-in-8
+        // fairness probe must surface it in bounded expected time.
+        let q: ShardedScheduler<MultiQueue<u32>> =
+            ShardedScheduler::from_fn(4, |_| MultiQueue::new(2));
+        let home = shard_index(&0u32, 4);
+        let target = (1u32..).find(|v| shard_index(v, 4) != home).unwrap();
+        ConcurrentScheduler::insert(&q, 0, 0u32);
+        ConcurrentScheduler::insert(&q, 1, target);
+        let mut found = false;
+        for _ in 0..100_000 {
+            let (p, v) = q.pop_for(home).expect("never empty");
+            if v == target {
+                found = true;
+                break;
+            }
+            ConcurrentScheduler::insert(&q, p, v);
+        }
+        assert!(found, "fairness probe never reached the foreign shard");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedScheduler::<BinaryHeapScheduler<u32>>::from_fn(0, |_| {
+            BinaryHeapScheduler::new()
+        });
+    }
+}
