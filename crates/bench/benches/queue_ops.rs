@@ -369,6 +369,62 @@ fn bench_sharded_contention(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cross_scheduler_contention(c: &mut Criterion) {
+    // The long-open ROADMAP item ("Concurrent-scheduler benchmarks at
+    // scale"): all four relaxed concurrent schedulers on ONE pinned drain
+    // workload — prefill the same 10k priorities, then `threads` workers
+    // scalar-pop to empty — at 2/4/8 threads, so their crossover points are
+    // directly comparable. Internal capacity is held at 4 queues (or spray
+    // threads) per worker across all rows, matching the executors' sizing.
+    let mut group = c.benchmark_group("cross_scheduler_contention");
+    group.sample_size(10);
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("multiqueue", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let q: MultiQueue<u32> = MultiQueue::for_threads(t);
+                fill_scalar(&q);
+                std::thread::scope(|s| {
+                    for _ in 0..t {
+                        s.spawn(|| black_box(drain_scalar(&q)));
+                    }
+                });
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lf_multiqueue", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let q = LockFreeMultiQueue::prefilled(4 * t, (0..N).map(|p| (p, p as u32)));
+                std::thread::scope(|s| {
+                    for _ in 0..t {
+                        s.spawn(|| black_box(drain_scalar(&q)));
+                    }
+                });
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bulk_multiqueue", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let q = BulkMultiQueue::prefilled_for_threads(t, (0..N).map(|p| (p, p as u32)));
+                std::thread::scope(|s| {
+                    for _ in 0..t {
+                        s.spawn(|| black_box(drain_scalar(&q)));
+                    }
+                });
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("spraylist", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let q: SprayList<u32> = SprayList::new(t);
+                fill_scalar(&q);
+                std::thread::scope(|s| {
+                    for _ in 0..t {
+                        s.spawn(|| black_box(drain_scalar(&q)));
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sequential,
@@ -376,6 +432,7 @@ criterion_group!(
     bench_multiqueue_scaling,
     bench_batched_vs_scalar,
     bench_lf_multiqueue_contention,
-    bench_sharded_contention
+    bench_sharded_contention,
+    bench_cross_scheduler_contention
 );
 criterion_main!(benches);

@@ -5,14 +5,15 @@
 //! `DESIGN.md` at the workspace root (which also records the reproduction's
 //! deliberate substitutions):
 //!
-//! | binary           | regenerates                                   |
-//! |------------------|-----------------------------------------------|
-//! | `table1`         | Table 1 (MIS extra iterations vs `k, n, m`)    |
-//! | `figure2`        | Figure 2 (concurrent MIS time vs threads)      |
-//! | `rank_tails`     | Definition 1 validation (rank/inversion tails) |
-//! | `theorem1_sweep` | §3.1 (generic framework, incl. clique bound)   |
-//! | `theorem2_sweep` | §3.2 headline claim (MIS cost flat in `n`)     |
-//! | `workloads`      | §4 synthetic tests on all four workloads       |
+//! | binary              | regenerates                                   |
+//! |---------------------|-----------------------------------------------|
+//! | `table1`            | Table 1 (MIS extra iterations vs `k, n, m`)    |
+//! | `figure2`           | Figure 2 (concurrent MIS time vs threads)      |
+//! | `rank_tails`        | Definition 1 validation (rank/inversion tails) |
+//! | `theorem1_sweep`    | §3.1 (generic framework, incl. clique bound)   |
+//! | `theorem2_sweep`    | §3.2 headline claim (MIS cost flat in `n`)     |
+//! | `workloads`         | §4 synthetic tests on all four workloads       |
+//! | `incremental_algos` | incremental connectivity + Delaunay (arXiv 2003.09363) |
 //!
 //! This library holds the shared bits: aligned table printing and a
 //! dependency-free CLI argument parser.

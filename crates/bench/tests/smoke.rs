@@ -11,6 +11,7 @@ use std::process::Command;
 const BINARIES: &[(&str, &str)] = &[
     ("table1", env!("CARGO_BIN_EXE_table1")),
     ("figure2", env!("CARGO_BIN_EXE_figure2")),
+    ("incremental_algos", env!("CARGO_BIN_EXE_incremental_algos")),
     ("rank_tails", env!("CARGO_BIN_EXE_rank_tails")),
     ("theorem1_sweep", env!("CARGO_BIN_EXE_theorem1_sweep")),
     ("theorem2_sweep", env!("CARGO_BIN_EXE_theorem2_sweep")),

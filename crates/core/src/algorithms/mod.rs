@@ -8,6 +8,7 @@
 
 pub mod coloring;
 pub mod explicit_dag;
+pub mod incremental;
 pub mod knuth_shuffle;
 pub mod list_contraction;
 pub mod matching;

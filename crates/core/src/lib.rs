@@ -17,6 +17,10 @@
 //!   greedy vertex coloring (Algorithm 3), list contraction, Knuth shuffle,
 //!   and SSSP. Each has a plain sequential reference, a framework adapter,
 //!   a concurrent adapter, and a verifier.
+//! * [`algorithms::incremental`] — the follow-up papers' workload family
+//!   (arXiv 2003.09363): incremental connectivity over a union-find and
+//!   randomized incremental Delaunay triangulation, with conflict-retry
+//!   semantics for out-of-order insertions.
 //! * [`stats`] — the paper's cost measure: total pops split into processed /
 //!   wasted (failed deletes) / obsolete.
 //! * [`theory`] — the bound shapes of Theorems 1–2 for predicted-vs-measured

@@ -4,8 +4,9 @@
 //! graphs ([`CsrGraph`], [`WeightedCsr`]), random and structured generators
 //! ([`gen`]), priority permutations ([`Permutation`]), line graphs and edge
 //! incidence ([`line_graph`], [`Incidence`]), linked-list instances for list
-//! contraction ([`list`]), connected components ([`components`]),
-//! persistence ([`io`]) and degree statistics ([`stats`]).
+//! contraction ([`list`]), planar points with exact predicates for the
+//! incremental Delaunay workload ([`geom`]), connected components
+//! ([`components`]), persistence ([`io`]) and degree statistics ([`stats`]).
 //!
 //! # Examples
 //!
@@ -26,6 +27,7 @@
 pub mod components;
 mod csr;
 pub mod gen;
+pub mod geom;
 pub mod io;
 mod linegraph;
 /// Doubly-linked-list instances for the list-contraction workload.

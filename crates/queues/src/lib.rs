@@ -40,6 +40,7 @@
 pub mod concurrent;
 mod entry;
 pub mod exact;
+pub mod hash;
 mod indexed_set;
 pub mod instrument;
 pub mod relaxed;
@@ -114,6 +115,33 @@ pub trait PriorityScheduler<T> {
             }
         }
         got
+    }
+}
+
+/// A mutable borrow schedules like the scheduler itself — lets callers run
+/// an executor to completion and keep the scheduler for inspection
+/// afterwards (the instrumentation probes rely on this).
+impl<T, S: PriorityScheduler<T>> PriorityScheduler<T> for &mut S {
+    fn insert(&mut self, priority: u64, item: T) {
+        (**self).insert(priority, item)
+    }
+    fn pop(&mut self) -> Option<(u64, T)> {
+        (**self).pop()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+    fn insert_batch(&mut self, entries: &[(u64, T)])
+    where
+        T: Clone,
+    {
+        (**self).insert_batch(entries)
+    }
+    fn pop_batch(&mut self, out: &mut Vec<(u64, T)>, max: usize) -> usize {
+        (**self).pop_batch(out, max)
     }
 }
 

@@ -15,15 +15,9 @@ thread_local! {
     static STATE: Cell<u64> = Cell::new(fresh_seed());
 }
 
-/// The SplitMix64 finalizer: a full-avalanche bijective mix, shared by the
-/// per-thread seeder below and the sharding router's hash finalization.
-#[inline]
-pub(crate) fn splitmix64(z: u64) -> u64 {
-    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// The SplitMix64 finalizer, shared with the stable hash in [`crate::hash`]
+/// (one audited implementation for seeding and routing alike).
+use crate::hash::splitmix64;
 
 fn fresh_seed() -> u64 {
     // SplitMix64 step over a global counter: distinct, well-mixed per thread.

@@ -26,12 +26,8 @@
 //! with the decay constant scaled by `s` (measured by `rank_tails`, pinned
 //! in `rank_tail_fit.rs`; see DESIGN.md "Sharding semantics").
 
-use crate::{rng, ConcurrentScheduler, PriorityScheduler};
-use std::hash::{Hash, Hasher};
-
-/// Multiplier of the FxHash folding step (the golden-ratio constant used by
-/// rustc's hasher).
-const FX_K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+use crate::{hash, rng, ConcurrentScheduler, PriorityScheduler};
+use std::hash::Hash;
 
 /// One in this many affinity pops starts at a uniformly random shard
 /// instead of the worker's own. Affinity is a fast-path *bias*, not a
@@ -43,66 +39,14 @@ const FX_K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 /// restoring probabilistic fairness at an ~1/8 dilution of locality.
 const STEAL_PERIOD: usize = 8;
 
-/// An FxHash-style word-folding hasher, written out locally so shard routing
-/// is deterministic across runs and toolchains (`DefaultHasher` promises
-/// neither).
-struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    #[inline]
-    fn fold(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_K);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for chunk in bytes.chunks(8) {
-            let mut buf = [0u8; 8];
-            buf[..chunk.len()].copy_from_slice(chunk);
-            self.fold(u64::from_le_bytes(buf));
-        }
-    }
-    #[inline]
-    fn write_u8(&mut self, v: u8) {
-        self.fold(v as u64);
-    }
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.fold(v as u64);
-    }
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.fold(v);
-    }
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.fold(v as u64);
-    }
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-}
-
 /// The shard an item routes to: stable (a pure function of the item and the
-/// shard count), uniform (FxHash fold + SplitMix64 finalizer + Lemire range
-/// reduction), and shared by `insert`, re-insertion, and prefill grouping.
+/// shard count), uniform, and shared by `insert`, re-insertion, and prefill
+/// grouping. This is [`hash::stable_index`] — the workspace's one audited
+/// stable hash (FxHash fold + SplitMix64 finalizer + Lemire range
+/// reduction), also behind the incremental workloads' insertion shuffles.
 #[inline]
 pub fn shard_index<T: Hash + ?Sized>(item: &T, shards: usize) -> usize {
-    debug_assert!(shards > 0);
-    if shards == 1 {
-        return 0;
-    }
-    let mut h = FxHasher { hash: 0 };
-    item.hash(&mut h);
-    // SplitMix64 finalizer: the Fx fold alone leaves low-entropy high bits
-    // for small keys, and Lemire reduction selects by the high bits.
-    let z = rng::splitmix64(h.finish());
-    ((z as u128 * shards as u128) >> 64) as usize
+    hash::stable_index(item, shards)
 }
 
 /// `s` independent inner schedulers with stable-hash routing; see the

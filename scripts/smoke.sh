@@ -20,4 +20,7 @@ for bin in crates/bench/src/bin/*.rs; do
     cargo run --quiet --release -p rsched-bench --bin "${name}" -- --help >/dev/null
 done
 
-echo "smoke: all examples ran, all binaries answer --help"
+echo "== incremental workloads (fast mode, verifier-asserted end to end)"
+RSCHED_BENCH_FAST=1 cargo run --quiet --release -p rsched-bench --bin incremental_algos >/dev/null
+
+echo "smoke: all examples ran, all binaries answer --help, incremental fast run clean"
