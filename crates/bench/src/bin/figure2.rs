@@ -33,7 +33,7 @@
 //! with `S` while the output stays exactly the sequential MIS.
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsched_bench::{Args, Table};
+use rsched_bench::{BenchCli, Table};
 use rsched_core::algorithms::mis::{greedy_mis, ConcurrentMis};
 use rsched_core::framework::{run_concurrent_batched, run_exact_concurrent};
 use rsched_core::TaskId;
@@ -97,25 +97,29 @@ where
 }
 
 fn main() {
-    let args = Args::parse();
-    if args.help(
+    let Some(cli) = BenchCli::parse(
         "figure2",
         "Regenerates Figure 2: concurrent MIS wall-clock time vs thread count.",
         &[
             ("--batch-size B", "tasks popped per scheduler round-trip (default 1)"),
             ("--paper-scale", "the paper's original instance sizes (needs a big-memory host)"),
-            ("--quick", "fewer repetitions, ~10x smaller instances"),
             ("--reps N", "repetitions per configuration"),
             ("--seed S", "base RNG seed"),
             ("--shards S", "hash-routed scheduler shards with worker affinity (default 1)"),
             ("--threads LIST", "comma-separated thread counts"),
         ],
-    ) {
+    ) else {
         return;
-    }
-    let quick = args.has_flag("quick");
+    };
+    let args = cli.args;
     let paper_scale = args.has_flag("paper-scale");
-    assert!(!(quick && paper_scale), "--quick and --paper-scale are mutually exclusive");
+    // The explicit flags are mutually exclusive; an ambient
+    // RSCHED_BENCH_FAST only wins when --paper-scale was not requested.
+    assert!(
+        !(args.has_flag("quick") && paper_scale),
+        "--quick and --paper-scale are mutually exclusive"
+    );
+    let quick = cli.quick && !paper_scale;
     let reps = args.get_usize("reps", if quick { 1 } else { 3 });
     let seed = args.get_u64("seed", 7);
     let batch_size = args.get_usize("batch-size", 1);

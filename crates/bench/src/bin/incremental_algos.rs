@@ -21,7 +21,11 @@
 //!
 //! Usage: `incremental_algos [--n N] [--m M] [--pts P] [--ks 4,16,64]
 //! [--threads 1,2,4] [--reps R] [--seed S] [--batch-size B] [--shards S]
-//! [--quick]`
+//! [--json PATH] [--quick]`
+//!
+//! `--json PATH` additionally merges machine-readable medians into the
+//! shared bench report (see `rsched_bench::report`; the committed
+//! `BENCH_6.json` at the workspace root is regenerated this way).
 //!
 //! (The target is named `incremental_algos` because cargo forbids a binary
 //! called plain `incremental` — it collides with the build directory.)
@@ -31,7 +35,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsched_bench::{fit_tail_exponent, shard_seed, Args, Table};
+use rsched_bench::{fit_tail_exponent, shard_seed, BenchCli, Table};
 use rsched_core::algorithms::incremental::connectivity::{
     components, ConcurrentConnectivity, ConnectivityTasks,
 };
@@ -379,8 +383,7 @@ fn dependency_depth_table(inst: &Instances, ks: &[usize], seed: u64) {
 }
 
 fn main() {
-    let args = Args::parse();
-    if args.help(
+    let Some(cli) = BenchCli::parse(
         "incremental_algos",
         "Incremental connectivity + randomized incremental Delaunay under relaxed schedulers.",
         &[
@@ -393,12 +396,12 @@ fn main() {
             ("--seed S", "base RNG seed"),
             ("--batch-size B", "tasks popped per scheduler round-trip (default 1)"),
             ("--shards S", "shards for the sharded rows (default 4)"),
-            ("--quick", "seconds-long smoke sizes (also via RSCHED_BENCH_FAST=1)"),
+            ("--json PATH", "merge machine-readable medians into the report at PATH"),
         ],
-    ) {
+    ) else {
         return;
-    }
-    let fast = args.has_flag("quick") || std::env::var_os("RSCHED_BENCH_FAST").is_some();
+    };
+    let (args, fast) = (cli.args, cli.quick);
     let n = args.get_usize("n", if fast { 2_000 } else { 20_000 });
     let m = args.get_usize("m", if fast { 6_000 } else { 60_000 });
     let pts_n = args.get_usize("pts", if fast { 400 } else { 2_000 });
@@ -444,4 +447,50 @@ fn main() {
     sequential_tables(&inst, &ks, reps, seed, batch, shards);
     concurrent_tables(&inst, &threads_list, reps, batch, shards);
     dependency_depth_table(&inst, &ks, seed);
+
+    if let Some(path) = args.get_str("json") {
+        json_summary(&inst, &threads_list, reps, batch, shards, std::path::Path::new(path));
+    }
+}
+
+/// Machine-readable medians for the shared bench report (`--json PATH`):
+/// per workload, the median concurrent wall-clock and throughput over the
+/// Sharded(MultiQueue) substrate at the largest requested thread count.
+/// Every timed run is still output-verified by [`run_prefilled`].
+fn json_summary(
+    inst: &Instances,
+    threads_list: &[usize],
+    reps: usize,
+    batch: usize,
+    shards: usize,
+    path: &std::path::Path,
+) {
+    use rsched_bench::report::{update_report, Json};
+    let threads = threads_list.iter().copied().max().unwrap_or(1);
+    let mut fields = vec![
+        ("threads".to_string(), Json::Int(threads as u64)),
+        ("shards".to_string(), Json::Int(shards as u64)),
+        ("batch_size".to_string(), Json::Int(batch as u64)),
+        ("reps".to_string(), Json::Int(reps as u64)),
+    ];
+    for workload in ["connectivity", "delaunay"] {
+        let tasks = pi_of(inst, workload).len();
+        let mut times = Vec::new();
+        let mut extra = 0u64;
+        for _ in 0..reps {
+            let sched: ShardedScheduler<MultiQueue<TaskId>> =
+                ShardedScheduler::from_fn(shards, |_| MultiQueue::new(2));
+            fill_scheduler(&sched, pi_of(inst, workload));
+            let (elapsed, e) = run_prefilled(inst, workload, &sched, threads, batch);
+            times.push(elapsed);
+            extra += e;
+        }
+        let median_s = median(times).as_secs_f64();
+        fields.push((format!("{workload}_tasks"), Json::Int(tasks as u64)));
+        fields.push((format!("{workload}_median_s"), Json::Num(median_s)));
+        fields.push((format!("{workload}_tasks_per_sec"), Json::Num(tasks as f64 / median_s)));
+        fields.push((format!("{workload}_extra_avg"), Json::Num(extra as f64 / reps as f64)));
+    }
+    update_report(path, "incremental_algos", &Json::Obj(fields));
+    println!("json medians merged into {}", path.display());
 }

@@ -21,7 +21,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsched_bench::{fit_tail_exponent, shard_seed, Args, Table};
+use rsched_bench::{fit_tail_exponent, shard_seed, BenchCli, Table};
 use rsched_queues::exact::BinaryHeapScheduler;
 use rsched_queues::instrument::Instrumented;
 use rsched_queues::relaxed::{AdversarialTopK, SimMultiQueue, SimSprayList, TopKUniform};
@@ -51,8 +51,7 @@ fn implied_k(tail: &[f64], l: usize) -> String {
 }
 
 fn main() {
-    let args = Args::parse();
-    if args.help(
+    let Some(cli) = BenchCli::parse(
         "rank_tails",
         "Validates Definition 1: empirical rank and fairness tail exponents per scheduler.",
         &[
@@ -61,10 +60,11 @@ fn main() {
             ("--shards LIST", "shard counts for the sharded sim-MultiQueue rows"),
             ("--seed S", "base RNG seed"),
         ],
-    ) {
+    ) else {
         return;
-    }
-    let n = args.get_u64("n", 50_000);
+    };
+    let (args, quick) = (cli.args, cli.quick);
+    let n = args.get_u64("n", if quick { 10_000 } else { 50_000 });
     let k = args.get_usize("k", 16);
     let seed = args.get_u64("seed", 3);
     let shard_counts = args.get_usize_list("shards", &[2, 4]);

@@ -1,0 +1,290 @@
+//! Streaming-service throughput: live producers feeding the sharded
+//! scheduler while the worker engine drains it (`rsched_core::service`).
+//!
+//! Unlike every other binary in this crate, nothing is prefilled — the
+//! point is steady-state behaviour with ingestion and draining running
+//! concurrently:
+//!
+//! * **connectivity** — producers stream edge ids through the bounded
+//!   ingestion queues; a latency-recording handler wraps the CAS
+//!   union-find. Per-task latency runs from the moment the producer
+//!   *offers* the task (before any backpressure blocking) to the worker's
+//!   terminal decision, so queueing delay is included — this is the
+//!   service's latency, not the handler's. Reported: sustained ops/sec and
+//!   p50/p95/p99 task latency.
+//! * **sssp** — repeated single-source floods where the producers seed one
+//!   request and the entire wavefront arrives as handler follow-up
+//!   submits; each rep's distances are asserted against Dijkstra.
+//!   Reported: median flood wall-clock and relaxation throughput.
+//!
+//! Every run asserts the exactly-once ledger
+//! (`ServiceStats::exactly_once`) — a dropped or duplicated task fails
+//! the bench, not just skews it.
+//!
+//! Usage: `service_throughput [--workload all|connectivity|sssp] [--n N]
+//! [--m M] [--producers P] [--workers W] [--queues Q] [--queue-capacity C]
+//! [--flush-batch F] [--watermark H] [--batch-size B] [--shards S]
+//! [--reps R] [--seed S] [--json PATH] [--quick]`
+//!
+//! `--json PATH` merges machine-readable medians into the shared bench
+//! report (see `rsched_bench::report`; the committed `BENCH_6.json` at the
+//! workspace root is regenerated this way).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsched_bench::report::{update_report, Json};
+use rsched_bench::{percentiles, BenchCli, Table};
+use rsched_core::algorithms::incremental::connectivity::{components, ConcurrentConnectivity};
+use rsched_core::algorithms::sssp::dijkstra;
+use rsched_core::framework::TaskOutcome;
+use rsched_core::service::{
+    run_service, AlgorithmHandler, Producer, ProducerFn, RequestHandler, ServiceConfig,
+    SsspHandler, SubmitCtx,
+};
+use rsched_core::TaskId;
+use rsched_graph::{gen, WeightedCsr};
+use rsched_queues::concurrent::LockFreeMultiQueue;
+use rsched_queues::sharded::ShardedScheduler;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Wraps any handler, stamping each task's terminal decision time against
+/// a shared clock; the producer side stamps the offer time into
+/// `push_ns` before pushing.
+struct TimedHandler<'a, H> {
+    inner: &'a H,
+    clock: &'a Instant,
+    done_ns: &'a [AtomicU64],
+}
+
+impl<H: RequestHandler> RequestHandler for TimedHandler<'_, H> {
+    fn handle(&self, priority: u64, task: TaskId, ctx: &SubmitCtx<'_>) -> TaskOutcome {
+        let outcome = self.inner.handle(priority, task, ctx);
+        if outcome != TaskOutcome::Blocked {
+            self.done_ns[task as usize]
+                .store(self.clock.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        outcome
+    }
+}
+
+struct Knobs {
+    producers: usize,
+    reps: usize,
+    seed: u64,
+    config: ServiceConfig,
+    shards: usize,
+}
+
+fn sched(shards: usize) -> ShardedScheduler<LockFreeMultiQueue<TaskId>> {
+    ShardedScheduler::from_fn(shards, |_| LockFreeMultiQueue::new(4))
+}
+
+fn median_f64(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    xs[xs.len() / 2]
+}
+
+/// One connectivity rep: live-stream `edges.len()` edge ids through the
+/// service, returning `(ops/sec, (p50, p95, p99) latency in µs)`.
+fn connectivity_rep(
+    n: usize,
+    edges: &[(u32, u32)],
+    expected: &[u32],
+    knobs: &Knobs,
+) -> (f64, (f64, f64, f64)) {
+    let m = edges.len() as u32;
+    let alg = ConcurrentConnectivity::new(n, edges);
+    let handler = AlgorithmHandler(&alg);
+    let clock = Instant::now();
+    let push_ns: Vec<AtomicU64> = (0..m).map(|_| AtomicU64::new(0)).collect();
+    let done_ns: Vec<AtomicU64> = (0..m).map(|_| AtomicU64::new(0)).collect();
+    let timed = TimedHandler { inner: &handler, clock: &clock, done_ns: &done_ns };
+    let q = sched(knobs.shards);
+    let np = knobs.producers as u32;
+    let producers: Vec<ProducerFn<'_>> = (0..np)
+        .map(|p| {
+            let push_ns = &push_ns;
+            Box::new(move |prod: Producer<'_>| {
+                for e in (p..m).step_by(np as usize) {
+                    push_ns[e as usize].store(clock.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    prod.push(u64::from(e), e).unwrap();
+                }
+            }) as ProducerFn<'_>
+        })
+        .collect();
+    let stats = run_service(&timed, &q, &knobs.config, producers);
+    assert!(stats.exactly_once(), "ledger out of balance: {stats:?}");
+    assert_eq!(stats.accepted, u64::from(m));
+    assert_eq!(alg.into_labels(), expected, "streamed connectivity diverged");
+    let lat_us: Vec<f64> = (0..m as usize)
+        .map(|e| {
+            let d = done_ns[e].load(Ordering::Relaxed);
+            let p = push_ns[e].load(Ordering::Relaxed);
+            assert!(d >= p, "task decided before it was offered");
+            (d - p) as f64 / 1_000.0
+        })
+        .collect();
+    (stats.accepted as f64 / stats.elapsed.as_secs_f64(), percentiles(&lat_us))
+}
+
+/// One SSSP rep: a single seeded flood; returns `(flood seconds,
+/// relaxations/sec)` where a "relaxation" is one accepted wavefront task.
+fn sssp_rep(g: &WeightedCsr, expected: &[u64], knobs: &Knobs) -> (f64, f64) {
+    let handler = SsspHandler::new(g);
+    let q = sched(knobs.shards);
+    let (seed_priority, seed_task) = handler.request(0, 0);
+    let producers: Vec<ProducerFn<'_>> = (0..knobs.producers)
+        .map(|_| {
+            Box::new(move |prod: Producer<'_>| {
+                prod.push(seed_priority, seed_task).unwrap();
+            }) as ProducerFn<'_>
+        })
+        .collect();
+    let stats = run_service(&handler, &q, &knobs.config, producers);
+    assert!(stats.exactly_once(), "ledger out of balance: {stats:?}");
+    assert_eq!(handler.into_dist(), expected, "streamed SSSP diverged from Dijkstra");
+    (stats.elapsed.as_secs_f64(), stats.accepted as f64 / stats.elapsed.as_secs_f64())
+}
+
+#[derive(Default)]
+struct Medians {
+    conn: Option<(f64, f64, f64, f64)>, // ops/sec, p50, p95, p99 (µs)
+    sssp: Option<(f64, f64)>,           // flood seconds, relaxations/sec
+}
+
+fn main() {
+    let Some(cli) = BenchCli::parse(
+        "service_throughput",
+        "Streaming-service throughput: live producers over the sharded scheduler.",
+        &[
+            ("--workload W", "all | connectivity | sssp (default all)"),
+            ("--n N", "vertex count"),
+            ("--m M", "edge count"),
+            ("--producers P", "producer threads (default 4)"),
+            ("--workers W", "worker threads (default 4)"),
+            ("--queues Q", "ingestion queues (default 2)"),
+            ("--queue-capacity C", "entries buffered per queue (default 1024)"),
+            ("--flush-batch F", "largest pump flush batch (default 256)"),
+            ("--watermark H", "per-shard high watermark; 0 disables (default 0)"),
+            ("--batch-size B", "worker pop batch size (default 8)"),
+            ("--shards S", "scheduler shards (default 3)"),
+            ("--reps R", "repetitions per workload"),
+            ("--seed S", "base RNG seed"),
+            ("--json PATH", "merge machine-readable medians into the report at PATH"),
+        ],
+    ) else {
+        return;
+    };
+    let (args, quick) = (cli.args, cli.quick);
+    let workload = args.get_str("workload").unwrap_or("all");
+    assert!(
+        matches!(workload, "all" | "connectivity" | "sssp"),
+        "--workload expects all, connectivity, or sssp"
+    );
+    let n = args.get_usize("n", if quick { 5_000 } else { 50_000 });
+    let m = args.get_usize("m", if quick { 20_000 } else { 200_000 });
+    let watermark = args.get_usize("watermark", 0);
+    let knobs = Knobs {
+        producers: args.get_usize("producers", 4),
+        reps: args.get_usize("reps", if quick { 1 } else { 3 }),
+        seed: args.get_u64("seed", 23),
+        config: ServiceConfig {
+            workers: args.get_usize("workers", 4),
+            batch_size: args.get_usize("batch-size", 8),
+            ingest_queues: args.get_usize("queues", 2),
+            queue_capacity: args.get_usize("queue-capacity", 1024),
+            flush_batch: args.get_usize("flush-batch", 256),
+            shard_watermark: if watermark == 0 { usize::MAX } else { watermark },
+        },
+        shards: args.get_usize("shards", 3),
+    };
+    assert!(knobs.producers >= 1, "--producers must be positive");
+    assert!(knobs.reps >= 1, "--reps must be positive");
+    assert!(knobs.shards >= 1, "--shards must be positive");
+
+    println!(
+        "streaming service: {} producers -> {} queues -> {} shards -> {} workers (batch {})\n",
+        knobs.producers,
+        knobs.config.ingest_queues,
+        knobs.shards,
+        knobs.config.workers,
+        knobs.config.batch_size
+    );
+
+    let mut medians = Medians::default();
+    if workload != "sssp" {
+        let edges = gen::gnm(n, m, &mut StdRng::seed_from_u64(knobs.seed)).edge_list();
+        let expected = components(n, &edges);
+        let mut ops = Vec::new();
+        let (mut p50s, mut p95s, mut p99s) = (Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..knobs.reps {
+            let (o, (p50, p95, p99)) = connectivity_rep(n, &edges, &expected, &knobs);
+            ops.push(o);
+            p50s.push(p50);
+            p95s.push(p95);
+            p99s.push(p99);
+        }
+        let row = (median_f64(ops), median_f64(p50s), median_f64(p95s), median_f64(p99s));
+        let mut t = Table::new(&["connectivity", "ops/sec", "p50 µs", "p95 µs", "p99 µs"]);
+        t.row(&[
+            &format!("{} edges", edges.len()),
+            &format!("{:.0}", row.0),
+            &format!("{:.1}", row.1),
+            &format!("{:.1}", row.2),
+            &format!("{:.1}", row.3),
+        ]);
+        println!("{t}");
+        println!(
+            "latency = producer offer -> worker decision (medians over {} reps)\n",
+            knobs.reps
+        );
+        medians.conn = Some(row);
+    }
+    if workload != "connectivity" {
+        let mut rng = StdRng::seed_from_u64(knobs.seed ^ 0x55);
+        let g = gen::gnm(n / 2, m / 2, &mut rng);
+        let g = WeightedCsr::with_uniform_weights(&g, 1, 100, &mut rng);
+        let expected = dijkstra(&g, 0);
+        let mut floods = Vec::new();
+        let mut relax = Vec::new();
+        for _ in 0..knobs.reps {
+            let (secs, rps) = sssp_rep(&g, &expected, &knobs);
+            floods.push(secs);
+            relax.push(rps);
+        }
+        let row = (median_f64(floods), median_f64(relax));
+        let mut t = Table::new(&["sssp", "flood ms", "relaxations/sec"]);
+        t.row(&[
+            &format!("{} vertices", g.num_vertices()),
+            &format!("{:.2}", row.0 * 1_000.0),
+            &format!("{:.0}", row.1),
+        ]);
+        println!("{t}");
+        println!("each flood seeded live, wavefront entirely handler-submitted\n");
+        medians.sssp = Some(row);
+    }
+
+    if let Some(path) = args.get_str("json") {
+        let mut fields = vec![
+            ("producers".to_string(), Json::Int(knobs.producers as u64)),
+            ("workers".to_string(), Json::Int(knobs.config.workers as u64)),
+            ("shards".to_string(), Json::Int(knobs.shards as u64)),
+            ("batch_size".to_string(), Json::Int(knobs.config.batch_size as u64)),
+            ("reps".to_string(), Json::Int(knobs.reps as u64)),
+        ];
+        if let Some((ops, p50, p95, p99)) = medians.conn {
+            fields.push(("connectivity_ops_per_sec".to_string(), Json::Num(ops)));
+            fields.push(("connectivity_p50_us".to_string(), Json::Num(p50)));
+            fields.push(("connectivity_p95_us".to_string(), Json::Num(p95)));
+            fields.push(("connectivity_p99_us".to_string(), Json::Num(p99)));
+        }
+        if let Some((secs, rps)) = medians.sssp {
+            fields.push(("sssp_flood_median_s".to_string(), Json::Num(secs)));
+            fields.push(("sssp_relaxations_per_sec".to_string(), Json::Num(rps)));
+        }
+        let path = std::path::Path::new(path);
+        update_report(path, "service_throughput", &Json::Obj(fields));
+        println!("json medians merged into {}", path.display());
+    }
+}

@@ -13,26 +13,24 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rsched_bench::table1::extra_iterations;
-use rsched_bench::{Args, Table};
+use rsched_bench::{BenchCli, Table};
 use rsched_queues::relaxed::{SimMultiQueue, TopKUniform};
 
 fn main() {
-    let args = Args::parse();
-    if args.help(
+    let Some(cli) = BenchCli::parse(
         "table1",
         "Regenerates Table 1: MIS extra iterations vs k, n, m under TopKUniform.",
         &[
-            ("--quick", "smaller instances and fewer repetitions"),
             ("--reps N", "repetitions per configuration"),
             ("--seed S", "base RNG seed"),
             ("--ns LIST", "comma-separated vertex counts"),
             ("--ms LIST", "comma-separated edge counts"),
             ("--ks LIST", "comma-separated relaxation factors"),
         ],
-    ) {
+    ) else {
         return;
-    }
-    let quick = args.has_flag("quick");
+    };
+    let (args, quick) = (cli.args, cli.quick);
     let reps = args.get_usize("reps", if quick { 2 } else { 5 });
     let seed = args.get_u64("seed", 42);
     let ns = args.get_usize_list("ns", if quick { &[1_000] } else { &[1_000, 10_000] });

@@ -13,7 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsched_bench::{Args, Table};
+use rsched_bench::{BenchCli, Table};
 use rsched_core::algorithms::coloring::ColoringTasks;
 use rsched_core::framework::run_relaxed;
 use rsched_core::theory;
@@ -33,20 +33,18 @@ fn coloring_extra(g: &CsrGraph, reps: usize, k: usize, seed: u64) -> f64 {
 }
 
 fn main() {
-    let args = Args::parse();
-    if args.help(
+    let Some(cli) = BenchCli::parse(
         "theorem1_sweep",
         "Sweeps Theorem 1's generic waste bound across graph families (incl. the clique).",
         &[
-            ("--quick", "fewer repetitions"),
             ("--reps N", "repetitions per configuration"),
             ("--seed S", "base RNG seed"),
             ("--ks LIST", "comma-separated relaxation factors"),
         ],
-    ) {
+    ) else {
         return;
-    }
-    let quick = args.has_flag("quick");
+    };
+    let (args, quick) = (cli.args, cli.quick);
     let reps = args.get_usize("reps", if quick { 2 } else { 5 });
     let seed = args.get_u64("seed", 11);
     let ks = args.get_usize_list("ks", &[4, 16, 64]);

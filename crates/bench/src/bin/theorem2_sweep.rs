@@ -15,7 +15,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsched_bench::{Args, Table};
+use rsched_bench::{BenchCli, Table};
 use rsched_core::algorithms::matching::{MatchingInstance, MatchingTasks};
 use rsched_core::algorithms::mis::MisTasks;
 use rsched_core::framework::run_relaxed;
@@ -48,20 +48,18 @@ fn matching_extra(g: &CsrGraph, reps: usize, k: usize, seed: u64) -> f64 {
 }
 
 fn main() {
-    let args = Args::parse();
-    if args.help(
+    let Some(cli) = BenchCli::parse(
         "theorem2_sweep",
         "Checks Theorem 2's headline claim: MIS wasted work flat in n for fixed k.",
         &[
-            ("--quick", "fewer repetitions"),
             ("--reps N", "repetitions per configuration"),
             ("--seed S", "base RNG seed"),
             ("--k K", "fixed relaxation factor"),
         ],
-    ) {
+    ) else {
         return;
-    }
-    let quick = args.has_flag("quick");
+    };
+    let (args, quick) = (cli.args, cli.quick);
     let reps = args.get_usize("reps", if quick { 2 } else { 5 });
     let seed = args.get_u64("seed", 13);
     let k_fixed = args.get_usize("k", 16);

@@ -28,7 +28,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsched_bench::{shard_seed, Args, Table};
+use rsched_bench::{shard_seed, BenchCli, Table};
 use rsched_core::algorithms::coloring::ColoringTasks;
 use rsched_core::algorithms::knuth_shuffle::{random_targets, shuffle_priorities, ShuffleTasks};
 use rsched_core::algorithms::list_contraction::ContractionTasks;
@@ -55,8 +55,7 @@ fn sharded_sim(
 }
 
 fn main() {
-    let args = Args::parse();
-    if args.help(
+    let Some(cli) = BenchCli::parse(
         "workloads",
         "Runs all four §4 workloads (MIS, matching, coloring, contraction) across k.",
         &[
@@ -68,13 +67,14 @@ fn main() {
             ("--batch-size B", "tasks popped per scheduler round-trip (default 1)"),
             ("--shards S", "hash-routed scheduler shards, drained round-robin (default 1)"),
         ],
-    ) {
+    ) else {
         return;
-    }
-    let n = args.get_usize("n", 30_000);
-    let m = args.get_usize("m", 100_000);
-    let reps = args.get_usize("reps", 5);
-    let ks = args.get_usize_list("ks", &[4, 8, 16, 32, 64]);
+    };
+    let (args, quick) = (cli.args, cli.quick);
+    let n = args.get_usize("n", if quick { 3_000 } else { 30_000 });
+    let m = args.get_usize("m", if quick { 10_000 } else { 100_000 });
+    let reps = args.get_usize("reps", if quick { 2 } else { 5 });
+    let ks = args.get_usize_list("ks", if quick { &[4, 16, 64] } else { &[4, 8, 16, 32, 64] });
     let seed = args.get_u64("seed", 17);
     let batch_size = args.get_usize("batch-size", 1);
     assert!(batch_size >= 1, "--batch-size must be positive");

@@ -205,6 +205,12 @@ impl Args {
         true
     }
 
+    /// Whether fast mode is on: the `--quick` flag or the
+    /// `RSCHED_BENCH_FAST` environment variable (what CI smoke runs set).
+    pub fn quick(&self) -> bool {
+        self.has_flag("quick") || std::env::var_os("RSCHED_BENCH_FAST").is_some()
+    }
+
     /// Comma-separated list of `usize` for `--key`, or `default`.
     pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
         match self.get_str(key) {
@@ -219,6 +225,212 @@ impl Args {
             None => default.to_vec(),
         }
     }
+}
+
+/// The standard experiment-binary preamble, hoisted out of the individual
+/// `main`s: parse the command line, answer `--help` (every binary gets the
+/// `--quick` row appended automatically), and resolve fast mode from
+/// `--quick` / `RSCHED_BENCH_FAST`.
+///
+/// Returns `None` when `--help` was printed — the binary returns
+/// immediately, so `binary --help` never starts a workload (the smoke
+/// tests rely on this).
+///
+/// # Examples
+///
+/// ```
+/// use rsched_bench::BenchCli;
+///
+/// // In an experiment binary:
+/// // let Some(cli) = BenchCli::parse("demo", "Does demo things.", &[("--reps N", "reps")])
+/// //     else { return };
+/// // let reps = cli.args.get_usize("reps", if cli.quick { 1 } else { 5 });
+/// ```
+#[derive(Debug)]
+pub struct BenchCli {
+    /// The parsed arguments, for binary-specific options.
+    pub args: Args,
+    /// Fast mode: `--quick` or `RSCHED_BENCH_FAST=1`. Binaries shrink
+    /// instance sizes and repetitions to seconds-long smoke scale.
+    pub quick: bool,
+}
+
+impl BenchCli {
+    /// Parses the process arguments; prints usage and returns `None` on
+    /// `--help`.
+    pub fn parse(binary: &str, purpose: &str, options: &[(&str, &str)]) -> Option<Self> {
+        Self::from_args(Args::parse(), binary, purpose, options)
+    }
+
+    fn from_args(
+        args: Args,
+        binary: &str,
+        purpose: &str,
+        options: &[(&str, &str)],
+    ) -> Option<Self> {
+        let mut opts: Vec<(&str, &str)> = options.to_vec();
+        opts.push(("--quick", "seconds-long smoke sizes (also via RSCHED_BENCH_FAST=1)"));
+        if args.help(binary, purpose, &opts) {
+            return None;
+        }
+        let quick = args.quick();
+        Some(BenchCli { args, quick })
+    }
+}
+
+/// Machine-readable benchmark reports: a dependency-free JSON emitter plus
+/// a per-binary merge into one shared report file (`BENCH_6.json` at the
+/// workspace root).
+///
+/// The file format is deliberately line-structured JSON — a top-level
+/// object with one line per binary:
+///
+/// ```json
+/// {
+///   "incremental_algos": {"connectivity_median_s": 0.12, ...},
+///   "service_throughput": {"ops_per_sec": 1.5e6, ...}
+/// }
+/// ```
+///
+/// [`update_report`] replaces exactly the caller's line and leaves every
+/// other binary's entry byte-identical, so independent binaries can append
+/// to the same committed report without a JSON parser.
+pub mod report {
+    use std::fmt::Write as _;
+    use std::path::Path;
+
+    /// A JSON value (only the shapes bench reports need).
+    #[derive(Clone, Debug)]
+    pub enum Json {
+        /// A finite number, rendered with enough precision to round-trip.
+        Num(f64),
+        /// An integer, rendered without a decimal point.
+        Int(u64),
+        /// A string (escaped minimally: quotes and backslashes).
+        Str(String),
+        /// An object, rendered in insertion order.
+        Obj(Vec<(String, Json)>),
+        /// An array.
+        Arr(Vec<Json>),
+    }
+
+    impl Json {
+        /// Convenience constructor for an object.
+        pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+            Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        }
+
+        /// Renders as compact (single-line) JSON.
+        pub fn render(&self) -> String {
+            let mut s = String::new();
+            self.write(&mut s);
+            s
+        }
+
+        fn write(&self, out: &mut String) {
+            match self {
+                Json::Num(x) => {
+                    if x.is_finite() {
+                        // {:?} prints the shortest representation that
+                        // round-trips the f64.
+                        let _ = write!(out, "{x:?}");
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Json::Int(x) => {
+                    let _ = write!(out, "{x}");
+                }
+                Json::Str(s) => {
+                    out.push('"');
+                    for c in s.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            c if (c as u32) < 0x20 => {
+                                let _ = write!(out, "\\u{:04x}", c as u32);
+                            }
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                Json::Obj(fields) => {
+                    out.push('{');
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        Json::Str(k.clone()).write(out);
+                        out.push_str(": ");
+                        v.write(out);
+                    }
+                    out.push('}');
+                }
+                Json::Arr(items) => {
+                    out.push('[');
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        v.write(out);
+                    }
+                    out.push(']');
+                }
+            }
+        }
+    }
+
+    /// Inserts or replaces the `key` entry of the line-structured report at
+    /// `path` (see the [module docs](self) for the format), creating the
+    /// file if needed. Entries stay sorted by key so regeneration is
+    /// deterministic regardless of which binary ran last.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors — a bench binary has nothing useful to do with
+    /// a report it cannot write.
+    pub fn update_report(path: &Path, key: &str, value: &Json) {
+        let mut entries: Vec<(String, String)> = match std::fs::read_to_string(path) {
+            Ok(existing) => existing
+                .lines()
+                .filter_map(|line| {
+                    let line = line.trim().trim_end_matches(',');
+                    let (k, v) = line.split_once(':')?;
+                    let k = k.trim().strip_prefix('"')?.strip_suffix('"')?;
+                    Some((k.to_string(), v.trim().to_string()))
+                })
+                .collect(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => panic!("cannot read bench report {}: {e}", path.display()),
+        };
+        entries.retain(|(k, _)| k != key);
+        entries.push((key.to_string(), value.render()));
+        entries.sort();
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in entries.iter().enumerate() {
+            let comma = if i + 1 < entries.len() { "," } else { "" };
+            let _ = writeln!(out, "  \"{k}\": {v}{comma}");
+        }
+        out.push_str("}\n");
+        std::fs::write(path, out)
+            .unwrap_or_else(|e| panic!("cannot write bench report {}: {e}", path.display()));
+    }
+}
+
+/// Sorts a copy of `samples` and returns the `(p50, p95, p99)` percentiles
+/// (nearest-rank on the sorted order; zero for an empty slice).
+pub fn percentiles(samples: &[f64]) -> (f64, f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let at = |p: f64| {
+        let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    };
+    (at(0.50), at(0.95), at(0.99))
 }
 
 /// Table 1 regeneration machinery, shared by the `table1` binary and the
@@ -393,6 +605,53 @@ mod tests {
         // informative points.
         assert_eq!(fit_tail_exponent(&[1.0, 1.0]), None);
         assert_eq!(fit_tail_exponent(&[1.0, 1.0, 0.5]), None);
+    }
+
+    #[test]
+    fn bench_cli_help_short_circuits_and_quick_folds() {
+        let help = Args::parse_from(["--help"].iter().map(|s| s.to_string()));
+        assert!(BenchCli::from_args(help, "demo", "Demo.", &[]).is_none());
+        let quick = Args::parse_from(["--quick"].iter().map(|s| s.to_string()));
+        let cli = BenchCli::from_args(quick, "demo", "Demo.", &[]).unwrap();
+        assert!(cli.quick);
+        let plain = Args::parse_from(std::iter::empty());
+        // May still be quick if the ambient RSCHED_BENCH_FAST is set (CI
+        // smoke does); only assert the flag path, not the env path.
+        let cli = BenchCli::from_args(plain, "demo", "Demo.", &[]).unwrap();
+        assert_eq!(cli.quick, std::env::var_os("RSCHED_BENCH_FAST").is_some());
+    }
+
+    #[test]
+    fn json_renders_compact_and_escaped() {
+        let j = report::Json::obj([
+            ("ops", report::Json::Num(1.5)),
+            ("n", report::Json::Int(42)),
+            ("name", report::Json::Str("a\"b".into())),
+            ("xs", report::Json::Arr(vec![report::Json::Int(1), report::Json::Int(2)])),
+        ]);
+        assert_eq!(j.render(), r#"{"ops": 1.5, "n": 42, "name": "a\"b", "xs": [1, 2]}"#);
+    }
+
+    #[test]
+    fn report_merge_replaces_only_own_key() {
+        let dir = std::env::temp_dir().join(format!("rsched_report_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let _ = std::fs::remove_file(&path);
+        report::update_report(&path, "b_bin", &report::Json::obj([("x", report::Json::Int(1))]));
+        report::update_report(&path, "a_bin", &report::Json::obj([("y", report::Json::Int(2))]));
+        report::update_report(&path, "b_bin", &report::Json::obj([("x", report::Json::Int(9))]));
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(got, "{\n  \"a_bin\": {\"y\": 2},\n  \"b_bin\": {\"x\": 9}\n}\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentiles(&samples), (50.0, 95.0, 99.0));
+        assert_eq!(percentiles(&[7.0]), (7.0, 7.0, 7.0));
+        assert_eq!(percentiles(&[]), (0.0, 0.0, 0.0));
     }
 
     #[test]

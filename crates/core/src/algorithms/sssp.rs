@@ -32,11 +32,11 @@ pub struct SsspStats {
     pub relaxations: u64,
 }
 
-fn vertex_bits(n: usize) -> u32 {
+pub(crate) fn vertex_bits(n: usize) -> u32 {
     usize::BITS - n.next_power_of_two().leading_zeros()
 }
 
-fn pack(dist: u64, v: u32, vbits: u32) -> u64 {
+pub(crate) fn pack(dist: u64, v: u32, vbits: u32) -> u64 {
     debug_assert!(dist < (1u64 << (63 - vbits)), "distance overflows priority packing");
     (dist << vbits) | v as u64
 }

@@ -108,6 +108,50 @@ struct WorkerCounters {
     empty: u64,
 }
 
+/// What a worker does between pops: the *workload half* of the engine.
+///
+/// [`worker_loop`] owns popping, re-insertion of failed deletes, backoff,
+/// counters, and affinity drift; the driver supplies termination and the
+/// per-task processing step. Two drivers exist: [`PrefillDriver`] (the
+/// classic run-to-empty executors — terminate when the algorithm's
+/// remaining-task counter hits zero) and the streaming service's driver in
+/// `crate::service` (terminate when producers are sealed and the completion
+/// ledger balances).
+pub(crate) trait EngineDriver: Sync {
+    /// Whether workers should keep popping. Checked before every run; must
+    /// eventually become `false` and, once `false`, stay `false` (workers
+    /// race through it independently).
+    fn keep_running(&self) -> bool;
+
+    /// Processes one popped task. A [`TaskOutcome::Blocked`] return makes
+    /// the engine hand the task back to the scheduler at its original
+    /// priority; the driver must not re-insert it itself.
+    fn dispatch(&self, priority: u64, task: TaskId) -> TaskOutcome;
+
+    /// Called once per nonempty run, after the run's failed deletes are
+    /// flushed. `net_drained` is pops minus re-inserts — how much scheduler
+    /// occupancy the run retired. The service driver uses it to wake
+    /// ingestion pumps blocked on the shard high watermark.
+    fn after_run(&self, net_drained: usize) {
+        let _ = net_drained;
+    }
+}
+
+/// The run-to-empty driver: dispatch is the algorithm's `try_process`,
+/// termination its remaining-task counter — exactly the pre-refactor
+/// executor semantics, op for op.
+pub(crate) struct PrefillDriver<'a, A>(pub &'a A);
+
+impl<A: ConcurrentAlgorithm> EngineDriver for PrefillDriver<'_, A> {
+    fn keep_running(&self) -> bool {
+        self.0.remaining() > 0
+    }
+
+    fn dispatch(&self, _priority: u64, task: TaskId) -> TaskOutcome {
+        self.0.try_process(task)
+    }
+}
+
 /// A worker's pop/flush strategy: how the next run of tasks is acquired and
 /// how the run's failed deletes return to the scheduler. This is the entire
 /// difference between the scalar and batched executors; everything else —
@@ -179,21 +223,22 @@ impl<S: ConcurrentScheduler<TaskId>> PopFlush<S> for BatchedPopFlush {
     }
 }
 
-/// The worker engine: pops runs via `strategy`, processes each task, hands
-/// failed deletes back, and spins briefly on empty observations (a blocked
-/// task may be in another worker's hands, about to be re-inserted).
-/// Termination is by the algorithm's remaining-task counter, not scheduler
-/// emptiness — dead MIS vertices may still sit in the queue when the run
-/// completes.
-fn worker_loop<A, S, P>(
-    alg: &A,
+/// The worker engine: pops runs via `strategy`, dispatches each task to the
+/// `driver`, hands failed deletes back, and spins briefly on empty
+/// observations (a blocked task may be in another worker's hands, about to
+/// be re-inserted). Termination is by [`EngineDriver::keep_running`], never
+/// scheduler emptiness — dead MIS vertices may still sit in the queue when a
+/// prefill run completes, and a streaming scheduler is *expected* to sit
+/// empty between arrivals.
+fn worker_loop<D, S, P>(
+    driver: &D,
     sched: &S,
     worker: usize,
     mut strategy: P,
     run_capacity: usize,
 ) -> WorkerCounters
 where
-    A: ConcurrentAlgorithm,
+    D: EngineDriver,
     S: ConcurrentScheduler<TaskId>,
     P: PopFlush<S>,
 {
@@ -212,7 +257,7 @@ where
     // instead of churning failed deletes in place; for monolithic
     // schedulers the hint is ignored and the drift is free.
     let mut hint = worker;
-    while alg.remaining() > 0 {
+    while driver.keep_running() {
         run.clear();
         let got = strategy.pop_run(sched, hint, &mut run);
         if got == 0 {
@@ -224,7 +269,7 @@ where
         let mut blocked_in_run = 0usize;
         for &(priority, v) in &run {
             c.pops += 1;
-            match alg.try_process(v) {
+            match driver.dispatch(priority, v) {
                 TaskOutcome::Processed => c.processed += 1,
                 TaskOutcome::Blocked => {
                     c.wasted += 1;
@@ -235,11 +280,79 @@ where
             }
         }
         strategy.flush(sched);
+        driver.after_run(got - blocked_in_run);
         if blocked_in_run == got {
             hint = hint.wrapping_add(1);
         }
     }
     c
+}
+
+/// Aggregated engine counters across all workers of one run; the shared
+/// core of [`ConcurrentStats`] and the service's stats.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct EngineTotals {
+    pub pops: u64,
+    pub processed: u64,
+    pub wasted: u64,
+    pub obsolete: u64,
+    pub empty: u64,
+}
+
+/// Spawns `threads` workers over `sched`, each running [`worker_loop`] with
+/// the strategy `batch_size` selects (1 → scalar, else batched), and blocks
+/// until every worker's [`EngineDriver::keep_running`] goes false. This is
+/// the one engine behind both entry points: [`run_concurrent_batched`]
+/// (prefill) and `crate::service::run_service` (streaming).
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `batch_size == 0`.
+pub(crate) fn run_engine<D, S>(
+    driver: &D,
+    sched: &S,
+    threads: usize,
+    batch_size: usize,
+) -> EngineTotals
+where
+    D: EngineDriver,
+    S: ConcurrentScheduler<TaskId>,
+{
+    assert!(threads >= 1, "need at least one worker");
+    assert!(batch_size >= 1, "need a positive batch size");
+    let pops = AtomicU64::new(0);
+    let processed = AtomicU64::new(0);
+    let wasted = AtomicU64::new(0);
+    let obsolete = AtomicU64::new(0);
+    let empty = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for worker in 0..threads {
+            let (pops, processed, wasted, obsolete, empty) =
+                (&pops, &processed, &wasted, &obsolete, &empty);
+            s.spawn(move || {
+                let c = if batch_size == 1 {
+                    worker_loop(driver, sched, worker, ScalarPopFlush, 1)
+                } else {
+                    let strategy =
+                        BatchedPopFlush { batch_size, blocked: Vec::with_capacity(batch_size) };
+                    worker_loop(driver, sched, worker, strategy, batch_size)
+                };
+                // Thread-local counters; one atomic flush at exit.
+                pops.fetch_add(c.pops, Ordering::Relaxed);
+                processed.fetch_add(c.processed, Ordering::Relaxed);
+                wasted.fetch_add(c.wasted, Ordering::Relaxed);
+                obsolete.fetch_add(c.obsolete, Ordering::Relaxed);
+                empty.fetch_add(c.empty, Ordering::Relaxed);
+            });
+        }
+    });
+    EngineTotals {
+        pops: pops.into_inner(),
+        processed: processed.into_inner(),
+        wasted: wasted.into_inner(),
+        obsolete: obsolete.into_inner(),
+        empty: empty.into_inner(),
+    }
 }
 
 /// Runs `alg` to completion on `threads` workers sharing `sched`.
@@ -299,44 +412,21 @@ where
     A: ConcurrentAlgorithm,
     S: ConcurrentScheduler<TaskId>,
 {
-    assert!(threads >= 1, "need at least one worker");
-    assert!(batch_size >= 1, "need a positive batch size");
     assert_eq!(alg.num_tasks(), pi.len(), "permutation size must match task count");
-    let pops = AtomicU64::new(0);
-    let processed = AtomicU64::new(0);
-    let wasted = AtomicU64::new(0);
-    let obsolete = AtomicU64::new(0);
-    let empty_pops = AtomicU64::new(0);
     let start = Instant::now();
-    std::thread::scope(|s| {
-        for worker in 0..threads {
-            let (pops, processed, wasted, obsolete, empty_pops) =
-                (&pops, &processed, &wasted, &obsolete, &empty_pops);
-            s.spawn(move || {
-                let c = if batch_size == 1 {
-                    worker_loop(alg, sched, worker, ScalarPopFlush, 1)
-                } else {
-                    let strategy =
-                        BatchedPopFlush { batch_size, blocked: Vec::with_capacity(batch_size) };
-                    worker_loop(alg, sched, worker, strategy, batch_size)
-                };
-                // Thread-local counters; one atomic flush at exit.
-                pops.fetch_add(c.pops, Ordering::Relaxed);
-                processed.fetch_add(c.processed, Ordering::Relaxed);
-                wasted.fetch_add(c.wasted, Ordering::Relaxed);
-                obsolete.fetch_add(c.obsolete, Ordering::Relaxed);
-                empty_pops.fetch_add(c.empty, Ordering::Relaxed);
-            });
-        }
-    });
+    // The prefill path is the degenerate streaming configuration: every task
+    // is already in the scheduler "at t = 0" and the producers are sealed
+    // before the first pop, so the driver reduces to the algorithm's own
+    // remaining-task counter.
+    let t = run_engine(&PrefillDriver(alg), sched, threads, batch_size);
     ConcurrentStats {
         tasks: alg.num_tasks(),
         threads,
-        total_pops: pops.into_inner(),
-        processed: processed.into_inner(),
-        wasted: wasted.into_inner(),
-        obsolete: obsolete.into_inner(),
-        empty_pops: empty_pops.into_inner(),
+        total_pops: t.pops,
+        processed: t.processed,
+        wasted: t.wasted,
+        obsolete: t.obsolete,
+        empty_pops: t.empty,
         elapsed: start.elapsed(),
     }
 }

@@ -7,7 +7,7 @@
 //! decompose exactly as in the paper: `n` first-touches plus one iteration
 //! per failed delete.
 
-mod concurrent;
+pub(crate) mod concurrent;
 mod exact_concurrent;
 mod sequential;
 

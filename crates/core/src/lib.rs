@@ -21,6 +21,11 @@
 //!   (arXiv 2003.09363): incremental connectivity over a union-find and
 //!   randomized incremental Delaunay triangulation, with conflict-retry
 //!   semantics for out-of-order insertions.
+//! * [`service`] — the streaming front-end: producers push tasks through
+//!   bounded ingestion queues into a live scheduler while the same worker
+//!   engine drains it, with shard-saturation backpressure and a
+//!   graceful-drain, exactly-once shutdown protocol. The prefill executors
+//!   above are its degenerate all-tasks-at-t=0 configuration.
 //! * [`stats`] — the paper's cost measure: total pops split into processed /
 //!   wasted (failed deletes) / obsolete.
 //! * [`theory`] — the bound shapes of Theorems 1–2 for predicted-vs-measured
@@ -51,6 +56,7 @@
 
 pub mod algorithms;
 pub mod framework;
+pub mod service;
 pub mod stats;
 pub mod theory;
 

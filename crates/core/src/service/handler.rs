@@ -1,0 +1,180 @@
+//! Request handlers: the workload side of the streaming service.
+//!
+//! A [`RequestHandler`] is the streaming analog of
+//! [`ConcurrentAlgorithm`](crate::framework::ConcurrentAlgorithm): it
+//! processes one popped task and may *submit follow-up tasks* through the
+//! [`SubmitCtx`] — the capability a prefilled run never needed (its task set
+//! is closed) but a live service is built around. Any
+//! `ConcurrentAlgorithm` lifts to a handler via [`AlgorithmHandler`];
+//! [`SsspHandler`] is a natively streaming workload whose follow-ups are the
+//! label-correcting relaxation wavefront.
+
+use super::ingest::Ledger;
+use crate::algorithms::sssp::UNREACHABLE;
+use crate::framework::{ConcurrentAlgorithm, TaskOutcome};
+use crate::TaskId;
+use rsched_graph::WeightedCsr;
+use rsched_queues::ConcurrentScheduler;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Capability to submit follow-up tasks from inside a handler.
+///
+/// Submits bypass the ingestion queues and the shard watermark: they go
+/// straight into the scheduler. This is deliberate — a follow-up gated on
+/// backpressure could deadlock the very workers that must drain the
+/// backlog, and the ledger's termination argument relies on follow-ups
+/// being accepted *before* their parent task is decided.
+pub struct SubmitCtx<'a> {
+    pub(crate) ledger: &'a Ledger,
+    pub(crate) sched: &'a dyn ConcurrentScheduler<TaskId>,
+}
+
+impl fmt::Debug for SubmitCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SubmitCtx").finish_non_exhaustive()
+    }
+}
+
+impl SubmitCtx<'_> {
+    /// Submits a follow-up task at the given priority. The task is accepted
+    /// by the ledger immediately and will be processed exactly once before
+    /// the service drains.
+    pub fn submit(&self, priority: u64, task: TaskId) {
+        self.ledger.accept();
+        self.sched.insert(priority, task);
+    }
+}
+
+/// A streaming workload: processes popped tasks, possibly submitting
+/// follow-ups.
+///
+/// Contract (mirroring `ConcurrentAlgorithm::try_process`, plus streaming):
+///
+/// * [`TaskOutcome::Blocked`] means "retry later"; the engine re-inserts
+///   the task at its original priority and the attempt does not count as a
+///   decision. Every accepted task must eventually reach a terminal
+///   `Processed`/`Obsolete` outcome or the drain cannot terminate.
+/// * Follow-up submits must happen *during* `handle` (they are accounted
+///   against the still-undecided parent; submitting from anywhere else
+///   races the drain protocol).
+/// * `handle` must be safe to call from many workers concurrently.
+pub trait RequestHandler: Sync {
+    /// Processes one popped task (`priority` is the priority it was popped
+    /// at — streaming workloads like SSSP encode request payload in it).
+    fn handle(&self, priority: u64, task: TaskId, ctx: &SubmitCtx<'_>) -> TaskOutcome;
+}
+
+/// Lifts a [`ConcurrentAlgorithm`] into a [`RequestHandler`] with a closed
+/// task set: `handle` is exactly `try_process`, no follow-ups.
+///
+/// This is how the prefill workloads (MIS, matching, coloring, shuffle,
+/// contraction, connectivity, Delaunay) run behind the service front-end —
+/// producers stream the task set in, the algorithm is unchanged.
+#[derive(Debug)]
+pub struct AlgorithmHandler<'a, A>(pub &'a A);
+
+impl<A: ConcurrentAlgorithm> RequestHandler for AlgorithmHandler<'_, A> {
+    fn handle(&self, _priority: u64, task: TaskId, _ctx: &SubmitCtx<'_>) -> TaskOutcome {
+        self.0.try_process(task)
+    }
+}
+
+/// Incremental connectivity as a service workload: producers stream edge
+/// indices, the union-find absorbs them in any order. (A plain
+/// [`AlgorithmHandler`] over
+/// [`ConcurrentConnectivity`](crate::algorithms::incremental::connectivity::ConcurrentConnectivity),
+/// named for discoverability — connectivity is the canonical
+/// tasks-arrive-over-time workload of the incremental-algorithms line.)
+pub type ConnectivityHandler<'a, 'e> =
+    AlgorithmHandler<'a, crate::algorithms::incremental::connectivity::ConcurrentConnectivity<'e>>;
+
+/// Natively streaming single-source shortest paths: a request is a packed
+/// `(tentative distance, vertex)` relaxation, and improving relaxations
+/// submit the next wavefront as follow-ups.
+///
+/// Producers seed one or more [`SsspHandler::request`]s (typically the
+/// source at distance 0); the handler floods the rest of the graph through
+/// [`SubmitCtx::submit`]. Distances converge to exact shortest paths under
+/// any pop order and any interleaving, exactly as
+/// [`concurrent_sssp`](crate::algorithms::sssp::concurrent_sssp) — the
+/// difference is that termination is the service ledger instead of a
+/// dedicated in-flight counter, and requests may keep arriving while the
+/// flood is in progress.
+pub struct SsspHandler<'g> {
+    g: &'g WeightedCsr,
+    dist: Vec<AtomicU64>,
+    vbits: u32,
+}
+
+impl fmt::Debug for SsspHandler<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SsspHandler").field("vertices", &self.dist.len()).finish_non_exhaustive()
+    }
+}
+
+impl<'g> SsspHandler<'g> {
+    /// A handler over `g` with all distances unreachable.
+    pub fn new(g: &'g WeightedCsr) -> Self {
+        let n = g.num_vertices();
+        SsspHandler {
+            g,
+            dist: (0..n).map(|_| AtomicU64::new(UNREACHABLE)).collect(),
+            vbits: crate::algorithms::sssp::vertex_bits(n),
+        }
+    }
+
+    /// The `(priority, task)` pair a producer pushes to request "relax
+    /// vertex `v` at tentative distance `dist`" — e.g. `request(0, source)`
+    /// to seed a flood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn request(&self, dist: u64, v: u32) -> (u64, TaskId) {
+        assert!((v as usize) < self.dist.len(), "vertex out of range");
+        (crate::algorithms::sssp::pack(dist, v, self.vbits), v)
+    }
+
+    /// The final distances (exact once the service has drained).
+    pub fn into_dist(self) -> Vec<u64> {
+        self.dist.into_iter().map(|d| d.into_inner()).collect()
+    }
+
+    /// CAS-min `dist[v]` down to `d`; true if `d` improved it.
+    fn relax(&self, v: u32, d: u64) -> bool {
+        let mut cur = self.dist[v as usize].load(Ordering::Acquire);
+        while d < cur {
+            match self.dist[v as usize].compare_exchange_weak(
+                cur,
+                d,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+        false
+    }
+}
+
+impl RequestHandler for SsspHandler<'_> {
+    fn handle(&self, priority: u64, v: TaskId, ctx: &SubmitCtx<'_>) -> TaskOutcome {
+        let d = priority >> self.vbits;
+        self.relax(v, d);
+        if d > self.dist[v as usize].load(Ordering::Acquire) {
+            // A better relaxation of `v` already ran (or is running); this
+            // request is superseded — the stale pop of the paper's cost
+            // model.
+            return TaskOutcome::Obsolete;
+        }
+        for (u, w) in self.g.neighbors_weighted(v) {
+            let nd = d + w as u64;
+            if self.relax(u, nd) {
+                ctx.submit(crate::algorithms::sssp::pack(nd, u, self.vbits), u);
+            }
+        }
+        TaskOutcome::Processed
+    }
+}

@@ -1,0 +1,536 @@
+//! The streaming service front-end: live task ingestion over the sharded
+//! scheduler substrate.
+//!
+//! Everything before this module is prefill-then-drain: the full task set is
+//! bulk-loaded, workers race the scheduler to empty, the clock stops. The
+//! paper's guarantees are stated *per pop*, so nothing about them requires
+//! the task set to be closed — and the incremental-algorithms line assumes
+//! tasks arrive over time. [`run_service`] is that shape:
+//!
+//! ```text
+//!  N producers ──► bounded MPMC ingestion queues ──► async pumps ──►
+//!      ShardedScheduler (live) ◄──► M workers (the same worker engine
+//!      that runs the prefill executors)
+//! ```
+//!
+//! * **Producers** ([`Producer`]) are plain closures on their own threads;
+//!   [`Producer::push`] blocks when the assigned queue is full — the
+//!   backpressure boundary.
+//! * **Pumps** are hand-rolled futures (one per queue) driven by one thread
+//!   running the vendored `futures` shim's `block_on(join_all(..))`. A pump
+//!   drains its queue FIFO in batches into
+//!   [`ConcurrentScheduler::insert_batch`], but first awaits shard
+//!   capacity: while the scheduler's
+//!   [`max_partition_load`](SchedulerLoad::max_partition_load) is at or
+//!   above [`ServiceConfig::shard_watermark`], the pump parks on a waker
+//!   that workers signal as they retire occupancy. A stalled pump fills its
+//!   queue, which blocks its producers: saturation propagates upstream
+//!   instead of ballooning the scheduler.
+//! * **Workers** run the exact engine of
+//!   [`run_concurrent_batched`](crate::framework::run_concurrent_batched) —
+//!   same pop/flush strategies, same counters, same affinity drift — with a
+//!   streaming driver: tasks are dispatched to a [`RequestHandler`], and
+//!   termination is the ledger condition below. The prefill executors are
+//!   the degenerate configuration of this engine (every task present at
+//!   t = 0, producers sealed before the first pop).
+//!
+//! # Graceful drain and exactly-once completion
+//!
+//! Shutdown is a wave through the pipeline: producers finish (or
+//! [`Producer::seal_all`] is called) → each queue **seals** → pumps flush
+//! what remains and complete → workers drain the scheduler → everyone
+//! joins. Termination is decided by the [ledger](self): `accepted` counts
+//! every task admitted (producer pushes and handler follow-up submits),
+//! `decided` counts terminal outcomes. Once all queues are sealed and
+//! `decided == accepted`, no task is buffered, scheduled, or in a worker's
+//! hands, and no future submit can occur — the condition is stable and the
+//! workers exit. [`ServiceStats::exactly_once`] checks the books.
+//!
+//! # Liveness contract for blocking handlers
+//!
+//! A handler returning [`TaskOutcome::Blocked`] re-inserts; the blocked
+//! task's dependency must itself reach the scheduler. Follow-up submits
+//! bypass the watermark precisely so handler-created dependencies cannot
+//! deadlock behind it. Producer-created dependencies must either arrive on
+//! the same queue no later than their dependents (FIFO pumping then orders
+//! them in) or the watermark must be left disabled (the default); see
+//! DESIGN.md "Service semantics".
+
+mod handler;
+mod ingest;
+
+pub use handler::{AlgorithmHandler, ConnectivityHandler, RequestHandler, SsspHandler, SubmitCtx};
+pub use ingest::PushError;
+
+use crate::framework::concurrent::{run_engine, EngineDriver, EngineTotals};
+use crate::framework::TaskOutcome;
+use crate::TaskId;
+use ingest::{IngestQueue, Ledger, TakeStatus};
+use rsched_queues::{ConcurrentScheduler, SchedulerLoad};
+use std::fmt;
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::task::{Poll, Waker};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of one [`run_service`] run.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the scheduler (the `M` of N×M).
+    pub workers: usize,
+    /// Worker pop batch size; 1 is the scalar engine (see
+    /// [`run_concurrent_batched`](crate::framework::run_concurrent_batched)
+    /// for the batching-relaxation trade).
+    pub batch_size: usize,
+    /// Number of ingestion queues; producer `i` is assigned queue
+    /// `i % ingest_queues`.
+    pub ingest_queues: usize,
+    /// Buffered entries per queue before [`Producer::push`] blocks.
+    pub queue_capacity: usize,
+    /// Largest batch a pump moves per `insert_batch` (FIFO within a queue).
+    pub flush_batch: usize,
+    /// Pumps stall while any shard holds at least this many tasks;
+    /// `usize::MAX` (the default) disables the watermark.
+    pub shard_watermark: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            batch_size: 1,
+            ingest_queues: 1,
+            queue_capacity: 1024,
+            flush_batch: 256,
+            shard_watermark: usize::MAX,
+        }
+    }
+}
+
+/// Outcome accounting of one [`run_service`] run ([`ConcurrentStats`]'s
+/// streaming sibling — same pop taxonomy, plus the ledger).
+///
+/// [`ConcurrentStats`]: crate::stats::ConcurrentStats
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Tasks admitted: producer pushes plus handler follow-up submits.
+    pub accepted: u64,
+    /// Terminal outcomes (`Processed` + `Obsolete`).
+    pub decided: u64,
+    /// Pops that processed their task.
+    pub processed: u64,
+    /// Failed deletes: pops whose task was blocked and re-inserted.
+    pub wasted: u64,
+    /// Pops whose task was already decided.
+    pub obsolete: u64,
+    /// Total popped elements.
+    pub total_pops: u64,
+    /// Pops (or batch pops) that observed an empty scheduler.
+    pub empty_pops: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Wall-clock time from service start to full drain.
+    pub elapsed: Duration,
+}
+
+impl ServiceStats {
+    /// Whether the ledger balances: every accepted task decided exactly
+    /// once, and the decisions are exactly the processed + obsolete pops.
+    pub fn exactly_once(&self) -> bool {
+        self.decided == self.accepted && self.processed + self.obsolete == self.decided
+    }
+}
+
+/// A producer-side handle: push requests, optionally seal the service.
+///
+/// Dropping the handle retires it; when the last handle on a queue drops,
+/// that queue seals, and when every queue is sealed the drain begins. The
+/// handle is `Send` (producers run on their own threads) but deliberately
+/// not `Clone` — the seal protocol counts handles.
+pub struct Producer<'s> {
+    core: &'s ServiceCore,
+    queue: usize,
+}
+
+impl fmt::Debug for Producer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Producer").field("queue", &self.queue).finish_non_exhaustive()
+    }
+}
+
+impl Producer<'_> {
+    /// Pushes one request. Blocks while the assigned ingestion queue is
+    /// full (backpressure); returns [`PushError::Sealed`] — without
+    /// accepting the task — once the service stopped taking new work.
+    pub fn push(&self, priority: u64, task: TaskId) -> Result<(), PushError> {
+        self.core.queues[self.queue].push(priority, task, &self.core.ledger)
+    }
+
+    /// Initiates graceful shutdown: seals every ingestion queue (all
+    /// producers' subsequent pushes are rejected) and starts the drain.
+    /// Already-accepted tasks still complete exactly once.
+    pub fn seal_all(&self) {
+        for q in &self.core.queues {
+            q.seal();
+        }
+        self.core.ledger.seal();
+    }
+}
+
+impl Drop for Producer<'_> {
+    fn drop(&mut self) {
+        self.core.queues[self.queue].release_producer();
+        if self.core.open_producers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.core.ledger.seal();
+        }
+    }
+}
+
+/// A producer body: receives its handle, pushes requests, returns when done
+/// (dropping the handle seals its share of the ingestion side).
+pub type ProducerFn<'env> = Box<dyn for<'p> FnOnce(Producer<'p>) + Send + 'env>;
+
+/// Wakers of pumps parked on the shard watermark. `armed` is the workers'
+/// fast path: they skip the mutex entirely until some pump has registered.
+/// The SeqCst fences pair the pump's register→re-check with the worker's
+/// drain→check (store-buffering shape): at least one side must see the
+/// other, so a pump can never park against an already-drained scheduler
+/// with nobody left to wake it.
+#[derive(Debug, Default)]
+struct CapacityWaiters {
+    armed: AtomicBool,
+    wakers: Mutex<Vec<Waker>>,
+}
+
+impl CapacityWaiters {
+    /// Registers `waker` for the next capacity wake. The caller must
+    /// re-check its stall condition *after* this returns and only then
+    /// return `Pending`.
+    fn register(&self, waker: &Waker) {
+        let mut ws = self.wakers.lock().unwrap();
+        if !ws.iter().any(|w| w.will_wake(waker)) {
+            ws.push(waker.clone());
+        }
+        self.armed.store(true, Ordering::SeqCst);
+        drop(ws);
+        fence(Ordering::SeqCst);
+    }
+
+    /// Wakes every registered pump (workers call this after runs that
+    /// retired scheduler occupancy).
+    fn wake_all(&self) {
+        fence(Ordering::SeqCst);
+        if !self.armed.load(Ordering::SeqCst) {
+            return;
+        }
+        let drained: Vec<Waker> = {
+            let mut ws = self.wakers.lock().unwrap();
+            self.armed.store(false, Ordering::SeqCst);
+            std::mem::take(&mut *ws)
+        };
+        for w in drained {
+            w.wake();
+        }
+    }
+}
+
+/// Shared state of one service run: queues, ledger, capacity wakers.
+#[derive(Debug)]
+struct ServiceCore {
+    queues: Vec<IngestQueue>,
+    ledger: Ledger,
+    capacity: CapacityWaiters,
+    open_producers: AtomicUsize,
+}
+
+/// The streaming [`EngineDriver`]: dispatch goes to the request handler
+/// (with a submit capability), termination is the ledger condition, and
+/// runs that retire occupancy wake watermark-parked pumps.
+struct ServiceDriver<'a, H, S> {
+    handler: &'a H,
+    sched: &'a S,
+    core: &'a ServiceCore,
+}
+
+impl<H, S> EngineDriver for ServiceDriver<'_, H, S>
+where
+    H: RequestHandler,
+    S: ConcurrentScheduler<TaskId>,
+{
+    fn keep_running(&self) -> bool {
+        !self.core.ledger.drained()
+    }
+
+    fn dispatch(&self, priority: u64, task: TaskId) -> TaskOutcome {
+        let ctx = SubmitCtx { ledger: &self.core.ledger, sched: self.sched };
+        let outcome = self.handler.handle(priority, task, &ctx);
+        if outcome != TaskOutcome::Blocked {
+            // Decide strictly after any follow-up submits inside `handle`
+            // were accepted: `decided == accepted` can then never be
+            // observed with work still in flight.
+            self.core.ledger.decide();
+        }
+        outcome
+    }
+
+    fn after_run(&self, net_drained: usize) {
+        if net_drained > 0 {
+            self.core.capacity.wake_all();
+        }
+    }
+}
+
+/// One queue's pump: awaits shard capacity, drains a FIFO batch, bulk-loads
+/// it, repeats; completes when the queue is sealed and empty.
+fn pump<'a, S>(
+    queue: &'a IngestQueue,
+    sched: &'a S,
+    core: &'a ServiceCore,
+    watermark: usize,
+    flush_batch: usize,
+) -> impl std::future::Future<Output = ()> + 'a
+where
+    S: ConcurrentScheduler<TaskId> + SchedulerLoad,
+{
+    let mut buf: Vec<(u64, TaskId)> = Vec::with_capacity(flush_batch);
+    futures::future::poll_fn(move |cx| loop {
+        if sched.max_partition_load() >= watermark {
+            // Register first, re-check second: a worker draining between
+            // the two wakes us immediately instead of being missed.
+            core.capacity.register(cx.waker());
+            if sched.max_partition_load() >= watermark {
+                return Poll::Pending;
+            }
+        }
+        buf.clear();
+        match queue.take_batch(&mut buf, flush_batch, cx.waker()) {
+            TakeStatus::Took => sched.insert_batch(&buf),
+            TakeStatus::Pending => return Poll::Pending,
+            TakeStatus::Drained => return Poll::Ready(()),
+        }
+    })
+}
+
+/// Runs a streaming service to drain: spawns one thread per producer
+/// closure, one pump-driver thread (the async shim's `block_on` over all
+/// queue pumps), and `config.workers` engine workers; returns when the
+/// last producer is done, ingestion is flushed, the scheduler is drained,
+/// and every thread has joined. See the [module docs](self) for the
+/// architecture and the drain protocol.
+///
+/// The scheduler may be non-empty at start (pre-seeded state is fine); it
+/// must however not contain tasks the ledger has not accepted — seed
+/// through a producer instead.
+///
+/// # Panics
+///
+/// Panics if any `config` knob is zero (except `shard_watermark`), or if a
+/// producer closure panics.
+pub fn run_service<H, S>(
+    handler: &H,
+    sched: &S,
+    config: &ServiceConfig,
+    producers: Vec<ProducerFn<'_>>,
+) -> ServiceStats
+where
+    H: RequestHandler,
+    S: ConcurrentScheduler<TaskId> + SchedulerLoad,
+{
+    assert!(config.workers >= 1, "need at least one worker");
+    assert!(config.batch_size >= 1, "need a positive batch size");
+    assert!(config.ingest_queues >= 1, "need at least one ingestion queue");
+    assert!(config.flush_batch >= 1, "need a positive flush batch");
+    let nqueues = config.ingest_queues;
+    let mut per_queue = vec![0usize; nqueues];
+    for i in 0..producers.len() {
+        per_queue[i % nqueues] += 1;
+    }
+    let core = ServiceCore {
+        queues: per_queue.iter().map(|&c| IngestQueue::new(config.queue_capacity, c)).collect(),
+        ledger: Ledger::new(),
+        capacity: CapacityWaiters::default(),
+        open_producers: AtomicUsize::new(producers.len()),
+    };
+    if producers.is_empty() {
+        core.ledger.seal();
+    }
+    let start = Instant::now();
+    let mut totals = EngineTotals::default();
+    std::thread::scope(|scope| {
+        for (i, body) in producers.into_iter().enumerate() {
+            let producer = Producer { core: &core, queue: i % nqueues };
+            scope.spawn(move || body(producer));
+        }
+        let core_ref = &core;
+        scope.spawn(move || {
+            let pumps: Vec<_> = core_ref
+                .queues
+                .iter()
+                .map(|q| pump(q, sched, core_ref, config.shard_watermark, config.flush_batch))
+                .collect();
+            futures::executor::block_on(futures::future::join_all(pumps));
+        });
+        totals = run_engine(
+            &ServiceDriver { handler, sched, core: &core },
+            sched,
+            config.workers,
+            config.batch_size,
+        );
+    });
+    let stats = ServiceStats {
+        accepted: core.ledger.accepted(),
+        decided: core.ledger.decided(),
+        processed: totals.processed,
+        wasted: totals.wasted,
+        obsolete: totals.obsolete,
+        total_pops: totals.pops,
+        empty_pops: totals.empty,
+        workers: config.workers,
+        elapsed: start.elapsed(),
+    };
+    debug_assert!(stats.exactly_once(), "service ledger out of balance: {stats:?}");
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_queues::concurrent::MultiQueue;
+    use rsched_queues::sharded::ShardedScheduler;
+    use std::sync::atomic::AtomicU32;
+
+    /// Marks each task's completion count; `Processed` always.
+    struct CountingHandler {
+        hits: Vec<AtomicU32>,
+    }
+
+    impl CountingHandler {
+        fn new(n: usize) -> Self {
+            CountingHandler { hits: (0..n).map(|_| AtomicU32::new(0)).collect() }
+        }
+    }
+
+    impl RequestHandler for CountingHandler {
+        fn handle(&self, _priority: u64, task: TaskId, _ctx: &SubmitCtx<'_>) -> TaskOutcome {
+            self.hits[task as usize].fetch_add(1, Ordering::SeqCst);
+            TaskOutcome::Processed
+        }
+    }
+
+    fn sched(shards: usize) -> ShardedScheduler<MultiQueue<TaskId>> {
+        ShardedScheduler::from_fn(shards, |_| MultiQueue::new(2))
+    }
+
+    #[test]
+    fn streams_every_task_exactly_once() {
+        let n = 2_000u32;
+        let handler = CountingHandler::new(n as usize);
+        let q = sched(3);
+        let config = ServiceConfig {
+            workers: 3,
+            ingest_queues: 2,
+            queue_capacity: 64,
+            ..Default::default()
+        };
+        let producers: Vec<ProducerFn<'_>> = (0..4u32)
+            .map(|p| {
+                Box::new(move |prod: Producer<'_>| {
+                    for t in (p..n).step_by(4) {
+                        prod.push(t as u64, t).unwrap();
+                    }
+                }) as ProducerFn<'_>
+            })
+            .collect();
+        let stats = run_service(&handler, &q, &config, producers);
+        assert!(stats.exactly_once(), "{stats:?}");
+        assert_eq!(stats.accepted, n as u64);
+        assert!(handler.hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn zero_producers_drains_immediately() {
+        let handler = CountingHandler::new(1);
+        let q = sched(2);
+        let stats = run_service(&handler, &q, &ServiceConfig::default(), Vec::new());
+        assert!(stats.exactly_once());
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(stats.total_pops, 0);
+    }
+
+    #[test]
+    fn seal_all_rejects_later_pushes_but_completes_accepted_work() {
+        let handler = CountingHandler::new(10);
+        let q = sched(1);
+        let producers: Vec<ProducerFn<'_>> = vec![Box::new(|prod: Producer<'_>| {
+            for t in 0..5u32 {
+                prod.push(t as u64, t).unwrap();
+            }
+            prod.seal_all();
+            assert_eq!(prod.push(5, 5), Err(PushError::Sealed));
+        })];
+        let stats = run_service(&handler, &q, &ServiceConfig::default(), producers);
+        assert!(stats.exactly_once());
+        assert_eq!(stats.accepted, 5, "sealed push must not be accepted");
+        assert!((0..5).all(|t| handler.hits[t].load(Ordering::SeqCst) == 1));
+        assert_eq!(handler.hits[5].load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn watermark_backpressure_still_drains() {
+        // Tiny queues + a 4-task shard watermark force constant pump
+        // stalls and producer blocking; everything must still complete.
+        let n = 1_000u32;
+        let handler = CountingHandler::new(n as usize);
+        let q = sched(2);
+        let config = ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            flush_batch: 4,
+            shard_watermark: 4,
+            ..Default::default()
+        };
+        let producers: Vec<ProducerFn<'_>> = (0..2u32)
+            .map(|p| {
+                Box::new(move |prod: Producer<'_>| {
+                    for t in (p..n).step_by(2) {
+                        prod.push(t as u64, t).unwrap();
+                    }
+                }) as ProducerFn<'_>
+            })
+            .collect();
+        let stats = run_service(&handler, &q, &config, producers);
+        assert!(stats.exactly_once(), "{stats:?}");
+        assert_eq!(stats.accepted, n as u64);
+        assert!(handler.hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn handler_follow_up_submits_are_drained() {
+        /// Each seed task `t < n/2` submits follow-up `t + n/2`.
+        struct Chaining {
+            n: u32,
+            hits: Vec<AtomicU32>,
+        }
+        impl RequestHandler for Chaining {
+            fn handle(&self, _p: u64, task: TaskId, ctx: &SubmitCtx<'_>) -> TaskOutcome {
+                self.hits[task as usize].fetch_add(1, Ordering::SeqCst);
+                if task < self.n / 2 {
+                    ctx.submit(u64::from(task), task + self.n / 2);
+                }
+                TaskOutcome::Processed
+            }
+        }
+        let n = 500u32;
+        let handler = Chaining { n, hits: (0..n).map(|_| AtomicU32::new(0)).collect() };
+        let q = sched(2);
+        let producers: Vec<ProducerFn<'_>> = vec![Box::new(move |prod: Producer<'_>| {
+            for t in 0..n / 2 {
+                prod.push(t as u64, t).unwrap();
+            }
+        })];
+        let stats = run_service(&handler, &q, &ServiceConfig::default(), producers);
+        assert!(stats.exactly_once(), "{stats:?}");
+        assert_eq!(stats.accepted, n as u64, "250 pushes + 250 follow-ups");
+        assert!(handler.hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+}

@@ -169,6 +169,26 @@ impl<T> PriorityScheduler<T> for Box<dyn PriorityScheduler<T> + '_> {
     }
 }
 
+/// Occupancy introspection for saturation-aware callers (the streaming
+/// service's ingestion backpressure).
+///
+/// Loads are *approximate*: maintained by relaxed counters racing the
+/// operations they count, so a reader may observe a value off by the number
+/// of in-flight operations. That is the right contract for a high-watermark
+/// check — backpressure needs "roughly how full", never an exact census.
+/// [`sharded::ShardedScheduler`] implements it over per-shard counters; a
+/// partition here is a shard.
+pub trait SchedulerLoad {
+    /// Approximate number of elements currently held, summed over
+    /// partitions.
+    fn total_load(&self) -> usize;
+
+    /// Approximate occupancy of the fullest partition — the quantity a
+    /// per-shard high watermark gates on. For an unpartitioned scheduler
+    /// this equals [`SchedulerLoad::total_load`].
+    fn max_partition_load(&self) -> usize;
+}
+
 /// A thread-safe scheduler: shared-reference API for concurrent executors.
 ///
 /// `pop` returning `None` means the scheduler was observed empty, which may

@@ -26,8 +26,10 @@
 //! with the decay constant scaled by `s` (measured by `rank_tails`, pinned
 //! in `rank_tail_fit.rs`; see DESIGN.md "Sharding semantics").
 
-use crate::{hash, rng, ConcurrentScheduler, PriorityScheduler};
+use crate::{hash, rng, ConcurrentScheduler, PriorityScheduler, SchedulerLoad};
+use crossbeam::utils::CachePadded;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicIsize, Ordering};
 
 /// One in this many affinity pops starts at a uniformly random shard
 /// instead of the worker's own. Affinity is a fast-path *bias*, not a
@@ -73,6 +75,15 @@ pub struct ShardedScheduler<S> {
     /// Round-robin pop cursor of the *sequential* model; the concurrent impl
     /// never touches it (workers carry their own affinity instead).
     cursor: usize,
+    /// Approximate per-shard occupancy, maintained by every insert/pop that
+    /// goes through this wrapper — the saturation signal behind
+    /// [`SchedulerLoad`] (the streaming service's per-shard high-watermark
+    /// backpressure). Signed so that a racing read can momentarily undershoot
+    /// without wrapping; reads clamp at zero. Not an exact census: elements
+    /// placed in an inner scheduler *before* it was wrapped (a hand-prefilled
+    /// `Vec<S>` passed to [`ShardedScheduler::new`]) are invisible to it —
+    /// [`ShardedScheduler::prefilled_with`] seeds the counters itself.
+    loads: Box<[CachePadded<AtomicIsize>]>,
 }
 
 impl<S> ShardedScheduler<S> {
@@ -83,7 +94,8 @@ impl<S> ShardedScheduler<S> {
     /// Panics if `inners` is empty.
     pub fn new(inners: Vec<S>) -> Self {
         assert!(!inners.is_empty(), "need at least one shard");
-        ShardedScheduler { shards: inners.into_boxed_slice(), cursor: 0 }
+        let loads = (0..inners.len()).map(|_| CachePadded::new(AtomicIsize::new(0))).collect();
+        ShardedScheduler { shards: inners.into_boxed_slice(), cursor: 0, loads }
     }
 
     /// Builds `shards` inner schedulers with `make(shard_index)`.
@@ -121,20 +133,28 @@ impl<S> ShardedScheduler<S> {
         for (priority, item) in entries {
             groups[shard_index(&item, shards)].push((priority, item));
         }
-        if shards == 1 {
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        let q = if shards == 1 {
             let group = groups.pop().expect("one group");
-            return Self::new(vec![make(0, group)]);
+            Self::new(vec![make(0, group)])
+        } else {
+            let make = &make;
+            let inners: Vec<S> = std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, group)| scope.spawn(move || make(i, group)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard builder panicked")).collect()
+            });
+            Self::new(inners)
+        };
+        // Seed the occupancy counters: prefilled elements never pass through
+        // `insert`, so they would otherwise be invisible to `SchedulerLoad`.
+        for (shard, &n) in sizes.iter().enumerate() {
+            q.loads[shard].store(n as isize, Ordering::Relaxed);
         }
-        let make = &make;
-        let inners: Vec<S> = std::thread::scope(|scope| {
-            let handles: Vec<_> = groups
-                .into_iter()
-                .enumerate()
-                .map(|(i, group)| scope.spawn(move || make(i, group)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("shard builder panicked")).collect()
-        });
-        Self::new(inners)
+        q
     }
 
     /// Number of shards.
@@ -150,6 +170,32 @@ impl<S> ShardedScheduler<S> {
     /// The shard `item` routes to.
     pub fn shard_for<T: Hash + ?Sized>(&self, item: &T) -> usize {
         shard_index(item, self.shards.len())
+    }
+
+    /// Approximate occupancy of one shard (see the `loads` field docs for
+    /// the accuracy contract; clamped at zero).
+    pub fn shard_load(&self, shard: usize) -> usize {
+        self.loads[shard].load(Ordering::Relaxed).max(0) as usize
+    }
+
+    #[inline]
+    fn note_inserted(&self, shard: usize, n: usize) {
+        self.loads[shard].fetch_add(n as isize, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn note_popped(&self, shard: usize, n: usize) {
+        self.loads[shard].fetch_sub(n as isize, Ordering::Relaxed);
+    }
+}
+
+impl<S> SchedulerLoad for ShardedScheduler<S> {
+    fn total_load(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.shard_load(i)).sum()
+    }
+
+    fn max_partition_load(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.shard_load(i)).max().unwrap_or(0)
     }
 }
 
@@ -181,6 +227,7 @@ where
     fn insert(&mut self, priority: u64, item: T) {
         let shard = self.shard_for(&item);
         self.shards[shard].insert(priority, item);
+        self.note_inserted(shard, 1);
     }
 
     /// Round-robin across shards: pops from the cursor shard (probing
@@ -193,6 +240,7 @@ where
             let idx = (self.cursor + probe) % s;
             if let Some(e) = self.shards[idx].pop() {
                 self.cursor = (idx + 1) % s;
+                self.note_popped(idx, 1);
                 return Some(e);
             }
         }
@@ -211,7 +259,9 @@ where
         if s == 1 {
             // Pass-through keeps the one-shard configuration bit-for-bit
             // identical to the bare inner scheduler (no regrouping clone).
-            return self.shards[0].insert_batch(entries);
+            self.shards[0].insert_batch(entries);
+            self.note_inserted(0, entries.len());
+            return;
         }
         if entries.len() <= s {
             // Expected group size ≤ 1: grouping buffers buy nothing, so
@@ -223,7 +273,11 @@ where
             return;
         }
         let shards = &mut self.shards;
-        scatter_batch(entries, s, |shard, group| shards[shard].insert_batch(group));
+        let loads = &self.loads;
+        scatter_batch(entries, s, |shard, group| {
+            shards[shard].insert_batch(group);
+            loads[shard].fetch_add(group.len() as isize, Ordering::Relaxed);
+        });
     }
 
     /// Pops the batch from the first non-empty shard at or after the cursor
@@ -237,6 +291,7 @@ where
             let got = self.shards[idx].pop_batch(out, max);
             if got > 0 {
                 self.cursor = (idx + 1) % s;
+                self.note_popped(idx, got);
                 return got;
             }
         }
@@ -255,36 +310,47 @@ fn start_shard(worker: usize, shards: usize) -> usize {
     }
 }
 
-/// Scalar pop probing `shards` round-robin from `start`.
-fn pop_from<T, S>(shards: &[S], start: usize) -> Option<(u64, T)>
+/// Scalar pop probing `shards` round-robin from `start`; the success case
+/// also reports which shard served (so the caller can debit its occupancy
+/// counter).
+fn pop_from<T, S>(shards: &[S], start: usize) -> Option<(usize, (u64, T))>
 where
     T: Send,
     S: ConcurrentScheduler<T>,
 {
     let s = shards.len();
     for probe in 0..s {
-        if let Some(e) = shards[(start + probe) % s].pop() {
-            return Some(e);
+        let idx = (start + probe) % s;
+        if let Some(e) = shards[idx].pop() {
+            return Some((idx, e));
         }
     }
     None
 }
 
 /// Batched pop from the first non-empty shard probing round-robin from
-/// `start`; a batch never spans shards.
-fn pop_batch_from<T, S>(shards: &[S], start: usize, out: &mut Vec<(u64, T)>, max: usize) -> usize
+/// `start`; a batch never spans shards. Returns `(serving_shard, got)`;
+/// `got == 0` means every shard was observed empty (the shard index then
+/// carries no information).
+fn pop_batch_from<T, S>(
+    shards: &[S],
+    start: usize,
+    out: &mut Vec<(u64, T)>,
+    max: usize,
+) -> (usize, usize)
 where
     T: Send,
     S: ConcurrentScheduler<T>,
 {
     let s = shards.len();
     for probe in 0..s {
-        let got = shards[(start + probe) % s].pop_batch(out, max);
+        let idx = (start + probe) % s;
+        let got = shards[idx].pop_batch(out, max);
         if got > 0 {
-            return got;
+            return (idx, got);
         }
     }
-    0
+    (0, 0)
 }
 
 impl<T, S> ConcurrentScheduler<T> for ShardedScheduler<S>
@@ -295,6 +361,7 @@ where
     fn insert(&self, priority: u64, item: T) {
         let shard = self.shard_for(&item);
         self.shards[shard].insert(priority, item);
+        self.note_inserted(shard, 1);
     }
 
     /// Unpinned pop: starts at a random shard (spreading unpinned callers
@@ -302,20 +369,20 @@ where
     /// prefer [`ConcurrentScheduler::pop_for`].
     fn pop(&self) -> Option<(u64, T)> {
         let s = self.shards.len();
-        if s == 1 {
-            return self.shards[0].pop();
-        }
-        pop_from(&self.shards, rng::next_index(s))
+        let start = if s == 1 { 0 } else { rng::next_index(s) };
+        let (shard, e) = pop_from(&self.shards, start)?;
+        self.note_popped(shard, 1);
+        Some(e)
     }
 
     /// Affinity pop: shard `worker % s` first (with the 1-in-[`STEAL_PERIOD`]
     /// random start — see its docs), round-robin steal on empty.
     fn pop_for(&self, worker: usize) -> Option<(u64, T)> {
         let s = self.shards.len();
-        if s == 1 {
-            return self.shards[0].pop();
-        }
-        pop_from(&self.shards, start_shard(worker, s))
+        let start = if s == 1 { 0 } else { start_shard(worker, s) };
+        let (shard, e) = pop_from(&self.shards, start)?;
+        self.note_popped(shard, 1);
+        Some(e)
     }
 
     fn insert_batch(&self, entries: &[(u64, T)])
@@ -324,7 +391,9 @@ where
     {
         let s = self.shards.len();
         if s == 1 {
-            return self.shards[0].insert_batch(entries);
+            self.shards[0].insert_batch(entries);
+            self.note_inserted(0, entries.len());
+            return;
         }
         if entries.len() <= s {
             // Expected group size ≤ 1: route elementwise, no grouping
@@ -334,15 +403,20 @@ where
             }
             return;
         }
-        scatter_batch(entries, s, |shard, group| self.shards[shard].insert_batch(group));
+        scatter_batch(entries, s, |shard, group| {
+            self.shards[shard].insert_batch(group);
+            self.note_inserted(shard, group.len());
+        });
     }
 
     fn pop_batch(&self, out: &mut Vec<(u64, T)>, max: usize) -> usize {
         let s = self.shards.len();
-        if s == 1 {
-            return self.shards[0].pop_batch(out, max);
+        let start = if s == 1 { 0 } else { rng::next_index(s) };
+        let (shard, got) = pop_batch_from(&self.shards, start, out, max);
+        if got > 0 {
+            self.note_popped(shard, got);
         }
-        pop_batch_from(&self.shards, rng::next_index(s), out, max)
+        got
     }
 
     /// Affinity batch pop: drains the worker's own shard (`worker % s`, with
@@ -350,10 +424,12 @@ where
     /// round-robin when it is observed empty.
     fn pop_batch_for(&self, worker: usize, out: &mut Vec<(u64, T)>, max: usize) -> usize {
         let s = self.shards.len();
-        if s == 1 {
-            return self.shards[0].pop_batch(out, max);
+        let start = if s == 1 { 0 } else { start_shard(worker, s) };
+        let (shard, got) = pop_batch_from(&self.shards, start, out, max);
+        if got > 0 {
+            self.note_popped(shard, got);
         }
-        pop_batch_from(&self.shards, start_shard(worker, s), out, max)
+        got
     }
 }
 
@@ -538,6 +614,61 @@ mod tests {
             ConcurrentScheduler::insert(&q, p, v);
         }
         assert!(found, "fairness probe never reached the foreign shard");
+    }
+
+    #[test]
+    fn load_counters_track_sequential_ops() {
+        let mut q = ShardedScheduler::from_fn(4, |_| BinaryHeapScheduler::new());
+        assert_eq!(q.total_load(), 0);
+        for p in 0..100u64 {
+            q.insert(p, p as u32);
+        }
+        assert_eq!(q.total_load(), 100);
+        assert!(q.max_partition_load() >= 25, "fullest shard below uniform mean");
+        let mut buf = Vec::new();
+        let got = q.pop_batch(&mut buf, 8);
+        assert_eq!(q.total_load(), 100 - got);
+        while q.pop().is_some() {}
+        assert_eq!(q.total_load(), 0);
+        assert_eq!(q.max_partition_load(), 0);
+    }
+
+    #[test]
+    fn load_counters_track_concurrent_ops() {
+        let q: ShardedScheduler<MultiQueue<u64>> =
+            ShardedScheduler::from_fn(4, |_| MultiQueue::new(2));
+        let entries: Vec<(u64, u64)> = (0..200u64).map(|i| (i, i)).collect();
+        ConcurrentScheduler::insert_batch(&q, &entries);
+        assert_eq!(q.total_load(), 200);
+        let mut drained = 0usize;
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            let got = q.pop_batch_for(1, &mut buf, 16);
+            if got == 0 {
+                break;
+            }
+            drained += got;
+            assert_eq!(q.total_load(), 200 - drained);
+        }
+        assert_eq!(drained, 200);
+        assert_eq!(q.max_partition_load(), 0);
+    }
+
+    #[test]
+    fn prefilled_with_seeds_load_counters() {
+        let entries: Vec<(u64, u32)> = (0..500u64).map(|i| (i, i as u32)).collect();
+        let q: ShardedScheduler<LockFreeMultiQueue<u32>> =
+            ShardedScheduler::prefilled_with(7, entries, |_, group| {
+                LockFreeMultiQueue::prefilled(2, group)
+            });
+        assert_eq!(q.total_load(), 500);
+        let per_shard: usize = (0..7).map(|i| q.shard_load(i)).sum();
+        assert_eq!(per_shard, 500);
+        let (_, v) = ConcurrentScheduler::pop(&q).expect("non-empty");
+        assert_eq!(q.total_load(), 499);
+        // The pop debited the shard that actually served the element.
+        assert!(q.shard_load(q.shard_for(&v)) < per_shard);
     }
 
     #[test]

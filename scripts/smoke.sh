@@ -23,4 +23,7 @@ done
 echo "== incremental workloads (fast mode, verifier-asserted end to end)"
 RSCHED_BENCH_FAST=1 cargo run --quiet --release -p rsched-bench --bin incremental_algos >/dev/null
 
-echo "smoke: all examples ran, all binaries answer --help, incremental fast run clean"
+echo "== streaming service (fast mode, exactly-once ledger asserted end to end)"
+RSCHED_BENCH_FAST=1 cargo run --quiet --release -p rsched-bench --bin service_throughput >/dev/null
+
+echo "smoke: all examples ran, all binaries answer --help, incremental + service fast runs clean"
