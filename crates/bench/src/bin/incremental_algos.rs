@@ -490,6 +490,25 @@ fn json_summary(
         fields.push((format!("{workload}_median_s"), Json::Num(median_s)));
         fields.push((format!("{workload}_tasks_per_sec"), Json::Num(tasks as f64 / median_s)));
         fields.push((format!("{workload}_extra_avg"), Json::Num(extra as f64 / reps as f64)));
+        if workload == "delaunay" {
+            // The fine-grained-locking headline: concurrent wall-clock
+            // against the sequential label-order run of the same instance.
+            // > 1 means the per-cell MCS locks actually bought parallelism
+            // over the old structure-wide mutex (which could never exceed
+            // 1/(1 + coordination overhead)).
+            let seq = median(
+                (0..reps)
+                    .map(|_| {
+                        let t = Instant::now();
+                        std::hint::black_box(delaunay_reference(&inst.pts, &inst.pt_pi));
+                        t.elapsed()
+                    })
+                    .collect(),
+            )
+            .as_secs_f64();
+            fields.push(("delaunay_sequential_s".to_string(), Json::Num(seq)));
+            fields.push(("delaunay_concurrent_speedup".to_string(), Json::Num(seq / median_s)));
+        }
     }
     update_report(path, "incremental_algos", &Json::Obj(fields));
     println!("json medians merged into {}", path.display());

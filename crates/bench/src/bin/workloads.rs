@@ -9,7 +9,11 @@
 //! `poly(k)` waste regardless of density (Theorem 2).
 //!
 //! Usage: `workloads [--n N] [--m M] [--reps R] [--ks 4,16,64] [--seed S]
-//! [--batch-size B] [--shards S]`
+//! [--batch-size B] [--shards S] [--json PATH]`
+//!
+//! `--json PATH` additionally merges the per-workload average-extra curves
+//! into the shared bench report (see `rsched_bench::report`; the committed
+//! `BENCH_7.json` at the workspace root is regenerated this way).
 //!
 //! `--batch-size B` (default 1) runs the framework in batched mode: `B`
 //! tasks are popped per scheduler round-trip and the batch's failed deletes
@@ -66,6 +70,7 @@ fn main() {
             ("--seed S", "base RNG seed"),
             ("--batch-size B", "tasks popped per scheduler round-trip (default 1)"),
             ("--shards S", "hash-routed scheduler shards, drained round-robin (default 1)"),
+            ("--json PATH", "merge machine-readable averages into the report at PATH"),
         ],
     ) else {
         return;
@@ -105,6 +110,10 @@ fn main() {
         total as f64 / reps as f64
     };
 
+    // Per-workload average-extra curves (one value per k), kept alongside
+    // the formatted table cells for the optional `--json` report.
+    let mut json_rows: Vec<(&str, Vec<f64>)> = Vec::new();
+
     // MIS
     {
         let g = &g;
@@ -113,8 +122,10 @@ fn main() {
             let sched = sharded_sim(shards, k, s ^ 1);
             run_relaxed_batched(MisTasks::new(g, &pi), &pi, sched, batch_size).1.extra_iterations()
         };
+        let vals: Vec<f64> = ks.iter().map(|&k| run_avg(&f, k)).collect();
         let mut cells = vec!["MIS".to_string(), n.to_string()];
-        cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));
+        cells.extend(vals.iter().map(|v| format!("{v:.1}")));
+        json_rows.push(("mis", vals));
         let refs: Vec<&dyn std::fmt::Display> =
             cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
         table.row(&refs);
@@ -129,8 +140,10 @@ fn main() {
                 .1
                 .extra_iterations()
         };
+        let vals: Vec<f64> = ks.iter().map(|&k| run_avg(&f, k)).collect();
         let mut cells = vec!["matching".to_string(), inst.num_edges().to_string()];
-        cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));
+        cells.extend(vals.iter().map(|v| format!("{v:.1}")));
+        json_rows.push(("matching", vals));
         let refs: Vec<&dyn std::fmt::Display> =
             cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
         table.row(&refs);
@@ -145,8 +158,10 @@ fn main() {
                 .1
                 .extra_iterations()
         };
+        let vals: Vec<f64> = ks.iter().map(|&k| run_avg(&f, k)).collect();
         let mut cells = vec!["coloring".to_string(), n.to_string()];
-        cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));
+        cells.extend(vals.iter().map(|v| format!("{v:.1}")));
+        json_rows.push(("coloring", vals));
         let refs: Vec<&dyn std::fmt::Display> =
             cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
         table.row(&refs);
@@ -161,8 +176,10 @@ fn main() {
                 .1
                 .extra_iterations()
         };
+        let vals: Vec<f64> = ks.iter().map(|&k| run_avg(&f, k)).collect();
         let mut cells = vec!["knuth-shuffle".to_string(), n.to_string()];
-        cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));
+        cells.extend(vals.iter().map(|v| format!("{v:.1}")));
+        json_rows.push(("knuth_shuffle", vals));
         let refs: Vec<&dyn std::fmt::Display> =
             cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
         table.row(&refs);
@@ -178,8 +195,10 @@ fn main() {
                 .1
                 .extra_iterations()
         };
+        let vals: Vec<f64> = ks.iter().map(|&k| run_avg(&f, k)).collect();
         let mut cells = vec!["list-contraction".to_string(), n.to_string()];
-        cells.extend(ks.iter().map(|&k| format!("{:.1}", run_avg(&f, k))));
+        cells.extend(vals.iter().map(|v| format!("{v:.1}")));
+        json_rows.push(("list_contraction", vals));
         let refs: Vec<&dyn std::fmt::Display> =
             cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
         table.row(&refs);
@@ -190,4 +209,24 @@ fn main() {
     println!("MIS and matching waste the least — dead-marking (Theorem 2) beats even the");
     println!("sparse-Theorem-1 workloads (shuffle, contraction), whose fixed/chain-structured");
     println!("priorities carry larger constants.");
+
+    if let Some(path) = args.get_str("json") {
+        use rsched_bench::report::{update_report, Json};
+        let mut fields = vec![
+            ("n".to_string(), Json::Int(n as u64)),
+            ("m".to_string(), Json::Int(m as u64)),
+            ("reps".to_string(), Json::Int(reps as u64)),
+            ("batch_size".to_string(), Json::Int(batch_size as u64)),
+            ("shards".to_string(), Json::Int(shards as u64)),
+            ("ks".to_string(), Json::Arr(ks.iter().map(|&k| Json::Int(k as u64)).collect())),
+        ];
+        for (name, vals) in &json_rows {
+            fields.push((
+                format!("{name}_extra_avg"),
+                Json::Arr(vals.iter().map(|&v| Json::Num(v)).collect()),
+            ));
+        }
+        update_report(std::path::Path::new(path), "workloads", &Json::Obj(fields));
+        println!("json averages merged into {path}");
+    }
 }

@@ -42,8 +42,12 @@ use crate::framework::{ConcurrentAlgorithm, IterativeAlgorithm, TaskOutcome, Tas
 use crate::TaskId;
 use rsched_graph::geom::{in_circle, on_open_segment, orient2d, Point};
 use rsched_graph::Permutation;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use rsched_queues::lock::{McsLock, RawTryLock};
+use std::cell::UnsafeCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// The vertex "at infinity" closing the triangulation into a sphere.
 pub const GHOST: u32 = u32::MAX;
@@ -444,44 +448,301 @@ impl IterativeAlgorithm for DelaunayTasks {
     }
 }
 
-/// Thread-safe Delaunay: the triangulation sits behind one mutex and
-/// [`ConcurrentAlgorithm::try_process`] performs the conflict check and the
-/// insertion as one critical section — coarse-grained but linearizable, so
-/// every concurrent scheduler drives it correctly and the scheduling
-/// measurements (pops, failed deletes) stay meaningful. Fine-grained cavity
-/// locking is future work (ROADMAP); on this container it could not be
-/// measured anyway.
-#[derive(Debug)]
+// ---------------------------------------------------------------------------
+// Fine-grained concurrent triangulation
+// ---------------------------------------------------------------------------
+
+/// `loc` value in the concurrent structure: the point is a vertex.
+const LOC_INSERTED: u32 = u32::MAX;
+/// `loc` value in the concurrent structure: a coordinate duplicate.
+const LOC_DUPLICATE: u32 = u32::MAX - 1;
+
+/// One cell of the concurrent triangulation, living in the append-only
+/// [`CellArena`]. Field protocol:
+///
+/// * `v` — immutable once the cell id is published (written by the creator
+///   before any `nbr`/`loc` store makes the id reachable; readers get the
+///   happens-before edge from that publishing Release/Acquire pair, so
+///   `Relaxed` loads suffice).
+/// * `nbr`, `alive` — readable by lock-free speculation at any time;
+///   *written* only by a thread holding `lock`.
+/// * `bucket` — accessed (read or write) only under `lock`, except that the
+///   creator fills a fan cell's bucket between allocation and publication,
+///   while the id is still unreachable.
+struct ConcCell {
+    v: [AtomicU32; 3],
+    nbr: [AtomicU32; 3],
+    alive: AtomicBool,
+    lock: McsLock,
+    bucket: UnsafeCell<Vec<u32>>,
+}
+
+// SAFETY: `bucket` (the one non-Sync field) is only touched under `lock`
+// or before the cell is published, per the field protocol above.
+unsafe impl Sync for ConcCell {}
+
+impl Default for ConcCell {
+    fn default() -> Self {
+        ConcCell {
+            v: [AtomicU32::new(GHOST), AtomicU32::new(GHOST), AtomicU32::new(GHOST)],
+            nbr: [AtomicU32::new(u32::MAX), AtomicU32::new(u32::MAX), AtomicU32::new(u32::MAX)],
+            alive: AtomicBool::new(false),
+            lock: McsLock::new(),
+            bucket: UnsafeCell::new(Vec::new()),
+        }
+    }
+}
+
+/// Cells per first chunk (log2); chunk `k` holds `1024 << k` cells.
+const CHUNK0_BITS: u32 = 10;
+/// 21 geometric chunks cover `1024·(2^21 − 1)` ≈ 2.1 billion cells, the
+/// practical bound for `u32` cell ids below the two `loc` sentinels.
+const MAX_CHUNKS: usize = 21;
+
+/// Append-only concurrent cell arena: a fixed spine of lazily initialized,
+/// geometrically growing chunks. Cell ids are stable for the lifetime of
+/// the arena and never reused, so stale ids read by speculation stay safe
+/// to dereference (they resolve to dead cells, never to freed memory).
+struct CellArena {
+    chunks: [OnceLock<Box<[ConcCell]>>; MAX_CHUNKS],
+    len: AtomicUsize,
+}
+
+impl CellArena {
+    fn new() -> Self {
+        CellArena { chunks: std::array::from_fn(|_| OnceLock::new()), len: AtomicUsize::new(0) }
+    }
+
+    /// Chunk index and offset for a cell id: chunk `k` starts at
+    /// `1024·(2^k − 1)`.
+    fn split(id: usize) -> (usize, usize) {
+        let block = (id >> CHUNK0_BITS) + 1;
+        let k = (usize::BITS - 1 - block.leading_zeros()) as usize;
+        (k, id - (((1usize << k) - 1) << CHUNK0_BITS))
+    }
+
+    fn get(&self, id: u32) -> &ConcCell {
+        let (k, off) = Self::split(id as usize);
+        &self.chunks[k].get().expect("published cell id implies an initialized chunk")[off]
+    }
+
+    /// Reserves `count` fresh cell ids and materializes their chunks.
+    /// The cells are unpublished: only the caller knows the ids until it
+    /// stores them into a neighbor link or `loc` slot.
+    fn alloc(&self, count: usize) -> u32 {
+        let start = self.len.fetch_add(count, Ordering::Relaxed);
+        let end = start + count;
+        assert!(end < LOC_DUPLICATE as usize, "cell arena overflow");
+        if count > 0 {
+            let (k0, _) = Self::split(start);
+            let (k1, _) = Self::split(end - 1);
+            for k in k0..=k1 {
+                self.chunks[k].get_or_init(|| {
+                    (0..(1usize << (CHUNK0_BITS as usize + k)))
+                        .map(|_| ConcCell::default())
+                        .collect()
+                });
+            }
+        }
+        start as u32
+    }
+}
+
+impl fmt::Debug for CellArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CellArena")
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Thread-safe Delaunay with **fine-grained cavity locking**: every cell
+/// carries its own [`McsLock`] and [`ConcurrentAlgorithm::try_process`]
+/// locks exactly the cells an insertion touches — no structure-wide mutex.
+///
+/// The protocol per popped task:
+///
+/// 1. **Speculate** (lock-free): read `loc[task]`, BFS the conflict cavity
+///    over atomic `nbr` links, collecting cavity cells and their surviving
+///    boundary neighbors.
+/// 2. **Acquire**: try-lock the cavity ∪ boundary set in ascending cell-id
+///    order. Ids form a total order so lock acquisition is deadlock-free,
+///    and because every acquisition is a *try*, any conflict releases
+///    everything and returns [`TaskOutcome::Blocked`] — a failed delete the
+///    executor retries, exactly like the dependency conflicts.
+/// 3. **Validate** (under locks): `loc[task]` unchanged, then recompute the
+///    cavity; conflict classification depends only on the immutable vertex
+///    triple, so any cell the authoritative cavity needs that is not
+///    already locked means the speculation raced a concurrent insertion —
+///    release and return `Blocked`.
+/// 4. **Commit**: the sequential carve/fan/rebucket, publishing fan-cell
+///    ids with `Release` stores only after the cells are fully built.
+///
+/// Retries are bounded in practice by the same argument as the sequential
+/// conflict semantics: whoever holds the contended cells finishes a finite
+/// insertion and releases, and the smallest-label point in a bucket is
+/// never dependency-blocked, so the run always terminates.
 pub struct ConcurrentDelaunay {
-    core: Mutex<Triangulation>,
-    n: usize,
+    pts: Vec<Point>,
+    labels: Vec<u32>,
+    arena: CellArena,
+    loc: Box<[AtomicU32]>,
     remaining: AtomicUsize,
+    created: AtomicU64,
+    destroyed: AtomicU64,
+    degenerate: bool,
+}
+
+impl fmt::Debug for ConcurrentDelaunay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConcurrentDelaunay")
+            .field("points", &self.pts.len())
+            .field("cells", &self.arena)
+            .field("remaining", &self.remaining.load(Ordering::Relaxed))
+            .field("degenerate", &self.degenerate)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ConcurrentDelaunay {
-    /// Creates the instance; see [`Triangulation::new`].
+    /// Creates the instance; seeding and duplicate filtering run through
+    /// [`Triangulation::new`], so every scheduler starts from the identical
+    /// structure the sequential adapters use.
     ///
     /// # Panics
     ///
     /// Panics if `pi.len() != points.len()`.
     pub fn new(points: &[Point], pi: &Permutation) -> Self {
-        let n = points.len();
-        ConcurrentDelaunay {
-            core: Mutex::new(Triangulation::new(points, pi)),
-            n,
-            remaining: AtomicUsize::new(n),
+        let seed = Triangulation::new(points, pi);
+        let n = seed.pts.len();
+        let arena = CellArena::new();
+        if !seed.degenerate {
+            let base = arena.alloc(seed.cells.len());
+            debug_assert_eq!(base, 0);
+            for (i, c) in seed.cells.iter().enumerate() {
+                let cell = arena.get(i as u32);
+                for j in 0..3 {
+                    cell.v[j].store(c.v[j], Ordering::Relaxed);
+                    cell.nbr[j].store(c.nbr[j], Ordering::Relaxed);
+                }
+                cell.alive.store(c.alive, Ordering::Relaxed);
+                // SAFETY: construction is single-threaded; the structure is
+                // published to workers by the thread handoff.
+                unsafe { (*cell.bucket.get()).clone_from(&c.bucket) };
+            }
         }
+        let loc = seed
+            .loc
+            .iter()
+            .map(|l| {
+                AtomicU32::new(match *l {
+                    Loc::Pending(c) => c,
+                    Loc::Inserted => LOC_INSERTED,
+                    Loc::Duplicate => LOC_DUPLICATE,
+                })
+            })
+            .collect();
+        ConcurrentDelaunay {
+            pts: seed.pts,
+            labels: seed.labels,
+            arena,
+            loc,
+            remaining: AtomicUsize::new(n),
+            created: AtomicU64::new(seed.created),
+            destroyed: AtomicU64::new(seed.destroyed),
+            degenerate: seed.degenerate,
+        }
+    }
+
+    /// The cell's vertex triple (immutable once published).
+    fn cell_v(&self, cell: u32) -> [u32; 3] {
+        let c = self.arena.get(cell);
+        [
+            c.v[0].load(Ordering::Relaxed),
+            c.v[1].load(Ordering::Relaxed),
+            c.v[2].load(Ordering::Relaxed),
+        ]
+    }
+
+    /// [`Triangulation::conflicts`] over a vertex triple.
+    fn conflicts_v(&self, v: [u32; 3], p: Point) -> bool {
+        if let Some(k) = v.iter().position(|&x| x == GHOST) {
+            let u = self.pts[v[(k + 1) % 3] as usize];
+            let w = self.pts[v[(k + 2) % 3] as usize];
+            orient2d(u, w, p) > 0 || on_open_segment(u, w, p)
+        } else {
+            let [a, b, c] = v;
+            in_circle(self.pts[a as usize], self.pts[b as usize], self.pts[c as usize], p) > 0
+        }
+    }
+
+    /// [`Triangulation::bucket_match`] over a vertex triple.
+    fn bucket_match_v(&self, v: [u32; 3], p: Point) -> bool {
+        if v.contains(&GHOST) {
+            return self.conflicts_v(v, p);
+        }
+        let [a, b, c] = v.map(|x| self.pts[x as usize]);
+        orient2d(a, b, p) >= 0 && orient2d(b, c, p) >= 0 && orient2d(c, a, p) >= 0
+    }
+
+    /// Lock-free cavity speculation: BFS the conflict region from `start`,
+    /// returning the cavity and its boundary neighbors as *observed* — a
+    /// snapshot that step 3 re-validates under locks. `None` means the
+    /// snapshot is already visibly stale (a dead cell), so the caller can
+    /// skip the locking round-trip and report `Blocked` immediately.
+    fn speculate(&self, start: u32, p: Point) -> Option<(Vec<u32>, Vec<u32>)> {
+        let mut cavity = vec![start];
+        let mut outers = Vec::new();
+        let mut seen: HashSet<u32> = HashSet::from([start]);
+        let mut i = 0;
+        while i < cavity.len() {
+            let c = self.arena.get(cavity[i]);
+            i += 1;
+            if !c.alive.load(Ordering::Acquire) {
+                return None;
+            }
+            for j in 0..3 {
+                let nb = c.nbr[j].load(Ordering::Acquire);
+                if seen.insert(nb) {
+                    if self.conflicts_v(self.cell_v(nb), p) {
+                        cavity.push(nb);
+                    } else {
+                        outers.push(nb);
+                    }
+                }
+            }
+        }
+        Some((cavity, outers))
     }
 
     /// Extracts the run output.
     pub fn into_output(self) -> DelaunayOutput {
-        self.core.into_inner().expect("no poisoned worker").into_output()
+        let len = self.arena.len.load(Ordering::Acquire) as u32;
+        let mut triangles: Vec<[u32; 3]> = Vec::new();
+        for id in 0..len {
+            let c = self.arena.get(id);
+            if !c.alive.load(Ordering::Relaxed) {
+                continue;
+            }
+            let v = self.cell_v(id);
+            if v.contains(&GHOST) {
+                continue;
+            }
+            let m = (0..3).min_by_key(|&i| v[i]).expect("three vertices");
+            triangles.push([v[m], v[(m + 1) % 3], v[(m + 2) % 3]]);
+        }
+        triangles.sort_unstable();
+        DelaunayOutput {
+            triangles,
+            created: self.created.load(Ordering::Relaxed),
+            destroyed: self.destroyed.load(Ordering::Relaxed),
+        }
     }
 }
 
 impl ConcurrentAlgorithm for ConcurrentDelaunay {
     fn num_tasks(&self) -> usize {
-        self.n
+        self.pts.len()
     }
 
     fn remaining(&self) -> usize {
@@ -489,17 +750,187 @@ impl ConcurrentAlgorithm for ConcurrentDelaunay {
     }
 
     fn try_process(&self, task: TaskId) -> TaskOutcome {
-        let mut tri = self.core.lock().expect("no poisoned worker");
-        if tri.decided(task) {
+        let ti = task as usize;
+        let start = self.loc[ti].load(Ordering::Acquire);
+        if start >= LOC_DUPLICATE {
             // Seeds and duplicates are decided once, at their single pop.
             self.remaining.fetch_sub(1, Ordering::AcqRel);
             return TaskOutcome::Obsolete;
         }
-        if tri.blocked_by_smaller(task) {
+        if self.degenerate {
+            // No structure exists; insertion is pure bookkeeping, and only
+            // the worker that popped `task` ever writes its slot.
+            self.loc[ti].store(LOC_INSERTED, Ordering::Release);
+            self.remaining.fetch_sub(1, Ordering::AcqRel);
+            return TaskOutcome::Processed;
+        }
+        let p = self.pts[ti];
+
+        // 1. Speculate without locks.
+        let Some((cavity, outers)) = self.speculate(start, p) else {
+            return TaskOutcome::Blocked;
+        };
+
+        // 2. Try-acquire cavity ∪ boundary in ascending id order. The total
+        // order makes acquisition deadlock-free; try-only makes any
+        // collision a failed delete instead of a wait.
+        let mut lockset: Vec<u32> = Vec::with_capacity(cavity.len() + outers.len());
+        lockset.extend_from_slice(&cavity);
+        lockset.extend_from_slice(&outers);
+        lockset.sort_unstable();
+        lockset.dedup();
+        let mut guards = Vec::with_capacity(lockset.len());
+        for &id in &lockset {
+            match self.arena.get(id).lock.try_lock() {
+                Some(g) => guards.push(g),
+                // Dropping `guards` releases everything acquired so far.
+                None => return TaskOutcome::Blocked,
+            }
+        }
+
+        // 3. Validate under locks. `loc[task]` still pointing at `start`
+        // while we hold `start`'s lock pins the anchor: any carve of
+        // `start` would have rebucketed `task` (updating its `loc`) before
+        // releasing this lock.
+        if self.loc[ti].load(Ordering::Acquire) != start {
             return TaskOutcome::Blocked;
         }
-        tri.insert(task);
+        debug_assert!(self.arena.get(start).alive.load(Ordering::Relaxed));
+        debug_assert!(self.conflicts_v(self.cell_v(start), p));
+        // Recompute the authoritative cavity: classification is a pure
+        // function of the immutable vertex triple, so only *membership* can
+        // differ from the speculation — and every member must be locked.
+        let locked = |id: u32| lockset.binary_search(&id).is_ok();
+        let mut cav: Vec<u32> = vec![start];
+        let mut outs: Vec<u32> = Vec::new();
+        let mut class: HashMap<u32, bool> = HashMap::from([(start, true)]);
+        let mut i = 0;
+        while i < cav.len() {
+            let c = self.arena.get(cav[i]);
+            i += 1;
+            for j in 0..3 {
+                let nb = c.nbr[j].load(Ordering::Acquire);
+                if class.contains_key(&nb) {
+                    continue;
+                }
+                if !locked(nb) || !self.arena.get(nb).alive.load(Ordering::Acquire) {
+                    return TaskOutcome::Blocked; // speculation raced an insertion
+                }
+                let conflict = self.conflicts_v(self.cell_v(nb), p);
+                class.insert(nb, conflict);
+                if conflict {
+                    cav.push(nb);
+                } else {
+                    outs.push(nb);
+                }
+            }
+        }
+        // Dependency oracle, same semantics as the sequential adapter: an
+        // uninserted smaller-label point in `task`'s own bucket blocks it.
+        // Never true for the smallest pending label, so progress is assured.
+        let lt = self.labels[ti];
+        // SAFETY: `start` is locked by us.
+        let dep_blocked = unsafe {
+            (*self.arena.get(start).bucket.get())
+                .iter()
+                .any(|&q| q != task && self.labels[q as usize] < lt)
+        };
+        if dep_blocked {
+            return TaskOutcome::Blocked;
+        }
+
+        // 4. Commit. Boundary edges first (slots read under the outer
+        // cells' locks), then the sequential carve/fan/rebucket.
+        let mut boundary: Vec<(u32, u32, u32, usize)> = Vec::with_capacity(cav.len() + 2);
+        for &cell in &cav {
+            let c = self.arena.get(cell);
+            let cv = self.cell_v(cell);
+            for j in 0..3 {
+                let outer = c.nbr[j].load(Ordering::Relaxed);
+                if class[&outer] {
+                    continue;
+                }
+                let oc = self.arena.get(outer);
+                let slot = (0..3)
+                    .find(|&s| oc.nbr[s].load(Ordering::Relaxed) == cell)
+                    .expect("adjacency must be symmetric under locks");
+                boundary.push((cv[(j + 1) % 3], cv[(j + 2) % 3], outer, slot));
+            }
+        }
+
+        // Carve: kill cavity cells, pooling their buckets for relocation.
+        let mut displaced: Vec<u32> = Vec::new();
+        for &cell in &cav {
+            let c = self.arena.get(cell);
+            c.alive.store(false, Ordering::Release);
+            // SAFETY: `cell` is locked by us.
+            let bucket = unsafe { &mut *c.bucket.get() };
+            displaced.extend(bucket.drain(..).filter(|&q| q != task));
+        }
+
+        // Fan: allocate unpublished cells and build them completely —
+        // vertices, all three links, liveness — before any id escapes.
+        let m = boundary.len();
+        let base = self.arena.alloc(m);
+        for (idx, &(a, b, outer, _)) in boundary.iter().enumerate() {
+            let nc = self.arena.get(base + idx as u32);
+            nc.v[0].store(task, Ordering::Relaxed);
+            nc.v[1].store(a, Ordering::Relaxed);
+            nc.v[2].store(b, Ordering::Relaxed);
+            nc.nbr[0].store(outer, Ordering::Relaxed);
+            nc.alive.store(true, Ordering::Relaxed);
+        }
+        for (idx, &(a, b, ..)) in boundary.iter().enumerate() {
+            // Across edge (b → task): the fan cell whose boundary edge
+            // starts at b. Across (task → a): the one ending at a.
+            let after = boundary.iter().position(|&(s, ..)| s == b).expect("boundary is a cycle");
+            let before =
+                boundary.iter().position(|&(_, e, ..)| e == a).expect("boundary is a cycle");
+            let nc = self.arena.get(base + idx as u32);
+            nc.nbr[1].store(base + after as u32, Ordering::Relaxed);
+            nc.nbr[2].store(base + before as u32, Ordering::Relaxed);
+        }
+
+        // Rebucket while the fan is still unreachable. The fan tiles the
+        // carved region, so a displaced point lands in a fan cell — except
+        // exactly on the cavity boundary, where the (locked) surviving
+        // neighbor may be the only closed-region match.
+        let mut relocated: Vec<(u32, u32)> = Vec::with_capacity(displaced.len());
+        'points: for q in displaced {
+            let qp = self.pts[q as usize];
+            for idx in 0..m as u32 {
+                if self.bucket_match_v(self.cell_v(base + idx), qp) {
+                    // SAFETY: `base + idx` is ours until published below.
+                    unsafe { (*self.arena.get(base + idx).bucket.get()).push(q) };
+                    relocated.push((q, base + idx));
+                    continue 'points;
+                }
+            }
+            for &outer in &outs {
+                if self.bucket_match_v(self.cell_v(outer), qp) {
+                    // SAFETY: `outer` is locked by us.
+                    unsafe { (*self.arena.get(outer).bucket.get()).push(q) };
+                    relocated.push((q, outer));
+                    continue 'points;
+                }
+            }
+            unreachable!("displaced point matched neither fan nor boundary cell");
+        }
+
+        // Publish: neighbor links first (Release pairs with speculation's
+        // Acquire loads, ordering every store above), then the `loc` slots
+        // the displaced points' future workers will read.
+        for (idx, &(_, _, outer, slot)) in boundary.iter().enumerate() {
+            self.arena.get(outer).nbr[slot].store(base + idx as u32, Ordering::Release);
+        }
+        for (q, cell) in relocated {
+            self.loc[q as usize].store(cell, Ordering::Release);
+        }
+        self.created.fetch_add(m as u64, Ordering::Relaxed);
+        self.destroyed.fetch_add(cav.len() as u64, Ordering::Relaxed);
+        self.loc[ti].store(LOC_INSERTED, Ordering::Release);
         self.remaining.fetch_sub(1, Ordering::AcqRel);
+        drop(guards);
         TaskOutcome::Processed
     }
 }

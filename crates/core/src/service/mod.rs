@@ -16,8 +16,11 @@
 //! * **Producers** ([`Producer`]) are plain closures on their own threads;
 //!   [`Producer::push`] blocks when the assigned queue is full — the
 //!   backpressure boundary.
-//! * **Pumps** are hand-rolled futures (one per queue) driven by one thread
-//!   running the vendored `futures` shim's `block_on(join_all(..))`. A pump
+//! * **Pumps** are hand-rolled futures (one per queue). By default one
+//!   thread drives them all through the vendored `futures` shim's
+//!   `block_on(join_all(..))`; setting [`ServiceConfig::pump_threads`]
+//!   above 1 spreads them over the shim's `ThreadPool` instead, so one
+//!   busy queue cannot delay another's flush. A pump
 //!   drains its queue FIFO in batches into
 //!   [`ConcurrentScheduler::insert_batch`], but first awaits shard
 //!   capacity: while the scheduler's
@@ -92,6 +95,12 @@ pub struct ServiceConfig {
     /// Pumps stall while any shard holds at least this many tasks;
     /// `usize::MAX` (the default) disables the watermark.
     pub shard_watermark: usize,
+    /// Threads driving the ingestion pumps. The default (1) runs every
+    /// queue's pump on one `block_on(join_all(..))` loop — any pump wake
+    /// re-polls all of them. Larger values spread the pumps over a
+    /// [`futures::executor::ThreadPool`] of this size, so a stalled or
+    /// busy queue no longer delays its siblings' flushes.
+    pub pump_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -103,6 +112,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             flush_batch: 256,
             shard_watermark: usize::MAX,
+            pump_threads: 1,
         }
     }
 }
@@ -312,8 +322,9 @@ where
 }
 
 /// Runs a streaming service to drain: spawns one thread per producer
-/// closure, one pump-driver thread (the async shim's `block_on` over all
-/// queue pumps), and `config.workers` engine workers; returns when the
+/// closure, the pump driver (one `block_on` thread, or a
+/// [`ServiceConfig::pump_threads`]-sized pool), and `config.workers`
+/// engine workers; returns when the
 /// last producer is done, ingestion is flushed, the scheduler is drained,
 /// and every thread has joined. See the [module docs](self) for the
 /// architecture and the drain protocol.
@@ -340,6 +351,7 @@ where
     assert!(config.batch_size >= 1, "need a positive batch size");
     assert!(config.ingest_queues >= 1, "need at least one ingestion queue");
     assert!(config.flush_batch >= 1, "need a positive flush batch");
+    assert!(config.pump_threads >= 1, "need at least one pump thread");
     let nqueues = config.ingest_queues;
     let mut per_queue = vec![0usize; nqueues];
     for i in 0..producers.len() {
@@ -363,12 +375,40 @@ where
         }
         let core_ref = &core;
         scope.spawn(move || {
-            let pumps: Vec<_> = core_ref
-                .queues
-                .iter()
-                .map(|q| pump(q, sched, core_ref, config.shard_watermark, config.flush_batch))
-                .collect();
-            futures::executor::block_on(futures::future::join_all(pumps));
+            if config.pump_threads <= 1 {
+                let pumps: Vec<_> = core_ref
+                    .queues
+                    .iter()
+                    .map(|q| pump(q, sched, core_ref, config.shard_watermark, config.flush_batch))
+                    .collect();
+                futures::executor::block_on(futures::future::join_all(pumps));
+            } else {
+                let pool = futures::executor::ThreadPool::builder()
+                    .pool_size(config.pump_threads)
+                    .create()
+                    .expect("pump thread pool");
+                for q in &core_ref.queues {
+                    let fut: std::pin::Pin<Box<dyn std::future::Future<Output = ()> + Send + '_>> =
+                        Box::pin(pump(
+                            q,
+                            sched,
+                            core_ref,
+                            config.shard_watermark,
+                            config.flush_batch,
+                        ));
+                    // SAFETY: `spawn_ok` wants `'static`, but every pump
+                    // borrow (queues, scheduler, core) outlives the pool:
+                    // `pool` is dropped at the end of this closure, and
+                    // `ThreadPool::drop` blocks until all spawned tasks
+                    // have completed — no pump can be polled after the
+                    // borrows expire.
+                    let fut: std::pin::Pin<
+                        Box<dyn std::future::Future<Output = ()> + Send + 'static>,
+                    > = unsafe { std::mem::transmute(fut) };
+                    pool.spawn_ok(fut);
+                }
+                drop(pool); // waits for every pump to drain its queue
+            }
         });
         totals = run_engine(
             &ServiceDriver { handler, sched, core: &core },

@@ -24,9 +24,9 @@ mod lf_multiqueue;
 mod multiqueue;
 mod spraylist;
 
-pub use bulk_multiqueue::BulkMultiQueue;
+pub use bulk_multiqueue::{BulkMultiQueue, Run};
 pub use faa_queue::FaaArrayQueue;
 pub use lf_list::HarrisList;
 pub use lf_multiqueue::LockFreeMultiQueue;
-pub use multiqueue::MultiQueue;
+pub use multiqueue::{Heap, MultiQueue};
 pub use spraylist::SprayList;

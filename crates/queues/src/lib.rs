@@ -43,6 +43,7 @@ pub mod exact;
 pub mod hash;
 mod indexed_set;
 pub mod instrument;
+pub mod lock;
 pub mod relaxed;
 pub(crate) mod rng;
 pub mod sharded;

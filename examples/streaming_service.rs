@@ -49,6 +49,7 @@ fn main() {
         queue_capacity: 256,
         flush_batch: 64,
         shard_watermark: 4_096,
+        pump_threads: 2,
     };
     // Four producers stream striped slices: arrival order at the scheduler
     // is racy by construction, and full queues block their producer — the

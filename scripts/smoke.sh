@@ -23,6 +23,13 @@ done
 echo "== incremental workloads (fast mode, verifier-asserted end to end)"
 RSCHED_BENCH_FAST=1 cargo run --quiet --release -p rsched-bench --bin incremental_algos >/dev/null
 
+echo "== fine-grained delaunay (fast mode, 8-way contention drives the lock Blocked-retry path)"
+# Oversubscribed thread counts on a small instance make cavity lock
+# conflicts (and hence Blocked-driven retries) near-certain; every cell is
+# still verifier-asserted inside the binary.
+RSCHED_BENCH_FAST=1 cargo run --quiet --release -p rsched-bench --bin incremental_algos -- \
+    --threads 4,8 --pts 600 >/dev/null
+
 echo "== streaming service (fast mode, exactly-once ledger asserted end to end)"
 RSCHED_BENCH_FAST=1 cargo run --quiet --release -p rsched-bench --bin service_throughput >/dev/null
 
