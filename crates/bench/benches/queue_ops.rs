@@ -3,7 +3,7 @@
 //! These are the operation-level numbers behind the paper's claim that
 //! relaxed schedulers trade per-operation exactness for throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rsched_queues::concurrent::{
@@ -558,4 +558,35 @@ criterion_group!(
     bench_lock_ops,
     bench_cross_scheduler_contention
 );
-criterion_main!(benches);
+// Hand-rolled `criterion_main!`: after the groups run, `--json PATH`
+// merges every benchmark's timing summary into the shared report file
+// (`cargo bench -p rsched-bench --bench queue_ops -- --json BENCH_8.json`).
+fn main() {
+    benches();
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args.get(i + 1).expect("--json needs a PATH argument");
+        let mut path = std::path::PathBuf::from(path);
+        if path.is_relative() {
+            // `cargo bench` runs this binary with cwd = the package dir
+            // (crates/bench), unlike `cargo run`; anchor relative paths at
+            // the workspace root so `--json BENCH_8.json` merges into the
+            // same report the experiment binaries write.
+            path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(path);
+        }
+        use rsched_bench::report::{update_report, Json};
+        let fields: Vec<(String, Json)> = criterion::results::take()
+            .into_iter()
+            .map(|s| {
+                let summary = Json::obj([
+                    ("min_ns", Json::Num(s.min_ns)),
+                    ("median_ns", Json::Num(s.median_ns)),
+                    ("mean_ns", Json::Num(s.mean_ns)),
+                ]);
+                (s.id, summary)
+            })
+            .collect();
+        update_report(&path, "queue_ops", &Json::Obj(fields));
+        println!("json queue_ops timings merged into {}", path.display());
+    }
+}

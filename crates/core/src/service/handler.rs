@@ -15,8 +15,8 @@ use crate::framework::{ConcurrentAlgorithm, TaskOutcome};
 use crate::TaskId;
 use rsched_graph::WeightedCsr;
 use rsched_queues::ConcurrentScheduler;
+use rsched_sync::atomic::{AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Capability to submit follow-up tasks from inside a handler.
 ///

@@ -11,9 +11,9 @@
 //! [`Ledger`] seals when every queue has sealed.
 
 use crate::TaskId;
+use rsched_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::task::Waker;
 

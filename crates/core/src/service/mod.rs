@@ -70,9 +70,9 @@ use crate::framework::TaskOutcome;
 use crate::TaskId;
 use ingest::{IngestQueue, Ledger, TakeStatus};
 use rsched_queues::{ConcurrentScheduler, SchedulerLoad};
+use rsched_sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use rsched_sync::sync::Mutex;
 use std::fmt;
-use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::task::{Poll, Waker};
 use std::time::{Duration, Instant};
 
@@ -207,35 +207,63 @@ pub type ProducerFn<'env> = Box<dyn for<'p> FnOnce(Producer<'p>) + Send + 'env>;
 /// other, so a pump can never park against an already-drained scheduler
 /// with nobody left to wake it.
 #[derive(Debug, Default)]
-struct CapacityWaiters {
+#[doc(hidden)] // public only so the model-checker suite can drive it
+pub struct CapacityWaiters {
     armed: AtomicBool,
     wakers: Mutex<Vec<Waker>>,
+}
+
+/// One side of the register→re-check / drain→check fence pair. The model
+/// checker's seeded `capacity-weaken` mutation removes both fences *and*
+/// drops the `armed` accesses to `Relaxed` (see
+/// [`capacity_armed_ordering`]) — the no-lost-wakeup model test must then
+/// find the parked-forever interleaving.
+fn capacity_fence() {
+    #[cfg(rsched_model)]
+    if rsched_sync::model::mutation_enabled("capacity-weaken") {
+        return;
+    }
+    // Store-buffering pair: register→re-check vs drain→check (see the
+    // `CapacityWaiters` doc comment for the full argument).
+    fence(Ordering::SeqCst);
+}
+
+/// Ordering of the `armed` flag accesses; `SeqCst` normally, `Relaxed`
+/// under the `capacity-weaken` mutation. The downgrade matters because the
+/// model gives SeqCst *accesses* the full fence-like strength of its
+/// global SC view — armed alone at SeqCst would mask the fence removal.
+fn capacity_armed_ordering() -> Ordering {
+    #[cfg(rsched_model)]
+    if rsched_sync::model::mutation_enabled("capacity-weaken") {
+        return Ordering::Relaxed;
+    }
+    Ordering::SeqCst
 }
 
 impl CapacityWaiters {
     /// Registers `waker` for the next capacity wake. The caller must
     /// re-check its stall condition *after* this returns and only then
     /// return `Pending`.
-    fn register(&self, waker: &Waker) {
+    pub fn register(&self, waker: &Waker) {
         let mut ws = self.wakers.lock().unwrap();
         if !ws.iter().any(|w| w.will_wake(waker)) {
             ws.push(waker.clone());
         }
-        self.armed.store(true, Ordering::SeqCst);
+        self.armed.store(true, capacity_armed_ordering());
         drop(ws);
-        fence(Ordering::SeqCst);
+        capacity_fence();
     }
 
     /// Wakes every registered pump (workers call this after runs that
     /// retired scheduler occupancy).
-    fn wake_all(&self) {
-        fence(Ordering::SeqCst);
-        if !self.armed.load(Ordering::SeqCst) {
+    pub fn wake_all(&self) {
+        capacity_fence();
+        if !self.armed.load(capacity_armed_ordering()) {
             return;
         }
         let drained: Vec<Waker> = {
             let mut ws = self.wakers.lock().unwrap();
-            self.armed.store(false, Ordering::SeqCst);
+            self.armed.store(false, capacity_armed_ordering());
             std::mem::take(&mut *ws)
         };
         for w in drained {
@@ -402,9 +430,14 @@ where
                     // `ThreadPool::drop` blocks until all spawned tasks
                     // have completed — no pump can be polled after the
                     // borrows expire.
-                    let fut: std::pin::Pin<
-                        Box<dyn std::future::Future<Output = ()> + Send + 'static>,
-                    > = unsafe { std::mem::transmute(fut) };
+                    let fut = unsafe {
+                        std::mem::transmute::<
+                            std::pin::Pin<Box<dyn std::future::Future<Output = ()> + Send + '_>>,
+                            std::pin::Pin<
+                                Box<dyn std::future::Future<Output = ()> + Send + 'static>,
+                            >,
+                        >(fut)
+                    };
                     pool.spawn_ok(fut);
                 }
                 drop(pool); // waits for every pump to drain its queue
@@ -437,7 +470,7 @@ mod tests {
     use super::*;
     use rsched_queues::concurrent::MultiQueue;
     use rsched_queues::sharded::ShardedScheduler;
-    use std::sync::atomic::AtomicU32;
+    use rsched_sync::atomic::AtomicU32;
 
     /// Marks each task's completion count; `Processed` always.
     struct CountingHandler {

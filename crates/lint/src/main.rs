@@ -1,0 +1,395 @@
+//! `rsched-lint` — source-level atomics-hygiene lint, run as a deny step in
+//! CI (`cargo run -p rsched-lint`). Text-based on purpose: no syn, no
+//! regex crate, no network — it must work in the offline container and
+//! stay trivially auditable.
+//!
+//! Rules:
+//!
+//! * `unsafe-comment` — every `unsafe` keyword in code must carry a
+//!   `// SAFETY:` comment (or a `# Safety` doc section) immediately above
+//!   it (attributes and further comment lines may intervene) or trailing on
+//!   the same line.
+//! * `seqcst-fence` — every `fence(…SeqCst…)` call must carry a
+//!   justification comment: a trailing comment or a comment block
+//!   immediately above. SeqCst fences are the load-bearing agreements of
+//!   the epoch and backpressure protocols; an unexplained one is either
+//!   wrong or about to be "optimized" by someone who can't see why it's
+//!   right.
+//! * `facade-atomics` — crates ported onto the `rsched_sync` façade
+//!   (`crates/queues/src`, `crates/core/src/service`,
+//!   `shims/crossbeam/src`) must not name `std::sync::atomic` /
+//!   `core::sync::atomic` directly, otherwise the model checker silently
+//!   loses sight of those accesses.
+//!
+//! Escape hatch: a `lint:allow(<rule>)` comment anywhere on the flagged
+//! line suppresses that rule for the line.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories whose `.rs` files are scanned, relative to the root.
+const SCAN_DIRS: &[&str] = &["crates", "shims", "src", "tests", "examples", "benches"];
+
+/// File sets that must import atomics via `rsched_sync` only. The façade
+/// crate itself (`shims/model`) is the one place allowed to touch std
+/// atomics.
+const FACADE_PORTED: &[&str] =
+    &["crates/queues/src", "crates/core/src/service", "shims/crossbeam/src"];
+
+const RULE_UNSAFE: &str = "unsafe-comment";
+const RULE_FENCE: &str = "seqcst-fence";
+const RULE_FACADE: &str = "facade-atomics";
+
+#[derive(Debug)]
+struct Violation {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--root needs a path argument");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: rsched-lint [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut files = Vec::new();
+    for dir in SCAN_DIRS {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for f in &files {
+        let Ok(text) = fs::read_to_string(f) else { continue };
+        scanned += 1;
+        let rel = f.strip_prefix(&root).unwrap_or(f).to_string_lossy().replace('\\', "/");
+        lint_file(&rel, &text, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!("rsched-lint: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        println!("rsched-lint: {} violation(s) in {scanned} files", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for e in entries {
+        let p = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&p, out);
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Split a source line into (code, comment) with string contents blanked
+/// out of the code part, tracking `/* */` block comments across lines.
+/// Single-line approximation: string state does not persist across lines.
+fn split_code_comment(line: &str, in_block: &mut bool) -> (String, String) {
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if *in_block {
+            if c == '*' && chars.peek() == Some(&'/') {
+                chars.next();
+                *in_block = false;
+            }
+            continue;
+        }
+        if in_str {
+            if c == '\\' {
+                chars.next();
+            } else if c == '"' {
+                in_str = false;
+            }
+            code.push(' ');
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                code.push(' ');
+            }
+            '/' if chars.peek() == Some(&'/') => {
+                comment.push('/');
+                comment.extend(chars);
+                break;
+            }
+            '/' if chars.peek() == Some(&'*') => {
+                chars.next();
+                *in_block = true;
+            }
+            _ => code.push(c),
+        }
+    }
+    (code, comment)
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True if `needle` occurs in `hay` delimited by non-word characters.
+fn has_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = hay[..at].chars().next_back().map(|c| !is_word_char(c)).unwrap_or(true);
+        let after_ok =
+            hay[at + needle.len()..].chars().next().map(|c| !is_word_char(c)).unwrap_or(true);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Does the contiguous block of comment/attribute lines directly above
+/// line `i` (0-based) satisfy `pred`? Attributes are skipped; blank lines
+/// break adjacency.
+fn comment_block_above(lines: &[&str], i: usize, pred: impl Fn(&str) -> bool) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = lines[j].trim_start();
+        if t.starts_with("//") {
+            if pred(t) {
+                return true;
+            }
+        } else if t.starts_with("#[")
+            || t.starts_with("#!")
+            || t.ends_with(']') && t.starts_with(')')
+        {
+            // attribute (possibly the tail of a multi-line one): keep going
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+fn allowed(line: &str, rule: &str) -> bool {
+    line.contains(&format!("lint:allow({rule})"))
+}
+
+fn lint_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
+    let lines: Vec<&str> = text.lines().collect();
+    let facade_scoped = FACADE_PORTED.iter().any(|p| rel.starts_with(p));
+
+    let mut in_block = false;
+    let mut split: Vec<(String, String)> = Vec::with_capacity(lines.len());
+    for l in &lines {
+        split.push(split_code_comment(l, &mut in_block));
+    }
+
+    for (i, (code, trailing)) in split.iter().enumerate() {
+        let lineno = i + 1;
+        let raw = lines[i];
+
+        // Rule: unsafe-comment. `unsafe fn(` / `unsafe extern` with no
+        // name is a function-pointer *type*, not an unsafe operation.
+        let code_sans_fn_ptr_types = code.replace("unsafe fn(", "").replace("unsafe extern", "");
+        if has_word(&code_sans_fn_ptr_types, "unsafe") && !allowed(raw, RULE_UNSAFE) {
+            let safety = |s: &str| s.contains("SAFETY") || s.contains("# Safety");
+            let ok = safety(trailing) || comment_block_above(&lines, i, safety);
+            if !ok {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: RULE_UNSAFE,
+                    message: "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc section) above or trailing".into(),
+                });
+            }
+        }
+
+        // Rule: seqcst-fence
+        if has_word(code, "fence") && code.contains("fence(") && !allowed(raw, RULE_FENCE) {
+            let next_code = split.get(i + 1).map(|(c, _)| c.as_str()).unwrap_or("");
+            let seqcst_here =
+                code.contains("SeqCst") || (!code.contains(')') && next_code.contains("SeqCst"));
+            if seqcst_here {
+                let ok = !trailing.trim_start_matches('/').trim().is_empty()
+                    || comment_block_above(&lines, i, |s| {
+                        !s.trim_start_matches('/').trim().is_empty()
+                    });
+                if !ok {
+                    out.push(Violation {
+                        file: rel.to_string(),
+                        line: lineno,
+                        rule: RULE_FENCE,
+                        message: "SeqCst fence without a justification comment".into(),
+                    });
+                }
+            }
+        }
+
+        // Rule: facade-atomics
+        if facade_scoped
+            && (code.contains("std::sync::atomic") || code.contains("core::sync::atomic"))
+            && !allowed(raw, RULE_FACADE)
+        {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: lineno,
+                rule: RULE_FACADE,
+                message: "façade-ported file must import atomics via `rsched_sync::atomic`".into(),
+            });
+        }
+    }
+}
+
+// Keep the Violation Display-ish formatting in one place for tests.
+#[allow(dead_code)]
+fn render(v: &Violation) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Violation> {
+        let mut out = Vec::new();
+        lint_file(rel, src, &mut out);
+        out
+    }
+
+    #[test]
+    fn unsafe_without_comment_flagged() {
+        let v = run("crates/x/src/a.rs", "fn f() {\n    let p = unsafe { *q };\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_UNSAFE);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_with_safety_above_ok() {
+        let src = "fn f() {\n    // SAFETY: q is valid for reads.\n    let p = unsafe { *q };\n}\n";
+        assert!(run("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_with_trailing_safety_ok() {
+        let src = "unsafe impl Send for X {} // SAFETY: X owns its pointer.\n";
+        assert!(run("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_with_safety_doc_section_ok() {
+        let src = "/// Does things.\n///\n/// # Safety\n/// Caller must hold the lock.\n#[inline]\npub unsafe fn g() {}\n";
+        assert!(run("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_ignored() {
+        let src = "// this mentions unsafe code\nfn f() { let s = \"unsafe\"; }\n";
+        assert!(run("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_pointer_type_ignored() {
+        let src = "struct D {\n    ptr: usize,\n    drop_fn: unsafe fn(usize),\n}\n";
+        assert!(run("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seqcst_fence_without_comment_flagged() {
+        let src = "fn f() {\n    fence(Ordering::SeqCst);\n}\n";
+        let v = run("a.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_FENCE);
+    }
+
+    #[test]
+    fn seqcst_fence_with_comment_ok() {
+        let src = "fn f() {\n    // Pairs with the fence in try_advance (SB pattern).\n    fence(Ordering::SeqCst);\n}\n";
+        assert!(run("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seqcst_fence_multiline_flagged() {
+        let src = "fn f() {\n    atomic::fence(\n        Ordering::SeqCst,\n    );\n}\n";
+        let v = run("a.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_FENCE);
+    }
+
+    #[test]
+    fn non_seqcst_fence_ignored() {
+        assert!(run("a.rs", "fn f() { fence(Ordering::Acquire); }\n").is_empty());
+    }
+
+    #[test]
+    fn helper_named_like_fence_ignored() {
+        assert!(run("a.rs", "fn f() { capacity_fence(); }\n").is_empty());
+    }
+
+    #[test]
+    fn facade_rule_scoped_to_ported_sets() {
+        let src = "use std::sync::atomic::AtomicUsize;\n";
+        assert_eq!(run("crates/queues/src/lock.rs", src).len(), 1);
+        assert_eq!(run("crates/core/src/service/mod.rs", src).len(), 1);
+        assert_eq!(run("shims/crossbeam/src/epoch.rs", src).len(), 1);
+        assert!(run("crates/bench/src/lib.rs", src).is_empty());
+        assert!(run("shims/model/src/atomics.rs", src).is_empty());
+    }
+
+    #[test]
+    fn facade_mention_in_comment_ok() {
+        let src = "// swap back to std::sync::atomic once vendored\nuse rsched_sync::atomic::AtomicUsize;\n";
+        assert!(run("crates/queues/src/lock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_escape_hatch() {
+        let src = "fn f() { let p = unsafe { *q }; } // lint:allow(unsafe-comment)\n";
+        assert!(run("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn block_comments_stripped() {
+        let src = "/* unsafe in a block comment\n   fence(SeqCst) too */\nfn f() {}\n";
+        assert!(run("a.rs", src).is_empty());
+    }
+}

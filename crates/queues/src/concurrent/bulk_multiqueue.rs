@@ -15,10 +15,10 @@ use crate::rng;
 use crate::{ConcurrentScheduler, Entry, BATCH_SCATTER_RUN};
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
+use rsched_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// One [`BulkMultiQueue`] bucket: a sorted prefilled run consumed from the
 /// front plus a small overflow heap for runtime re-insertions. Public

@@ -7,7 +7,7 @@
 //! what we implement (DESIGN.md substitution #2).
 
 use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use rsched_sync::atomic::{AtomicUsize, Ordering};
 
 /// A wait-free, pop-only exact scheduler over a prefilled task array.
 ///

@@ -13,10 +13,10 @@
 //! `LockFreeMultiQueue::insert_batch` does.
 
 use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
+use rsched_sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 use std::fmt;
 use std::mem::ManuallyDrop;
 use std::ptr;
-use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 
 struct Node<T> {
     key: (u64, u64),
@@ -54,6 +54,8 @@ pub struct HarrisList<T> {
 // SAFETY: nodes are shared across threads but `item` is only ever moved out
 // by the single thread that wins the marking CAS, so `T: Send` suffices.
 unsafe impl<T: Send> Send for HarrisList<T> {}
+// SAFETY: as for Send — all shared mutation goes through atomics plus the
+// epoch scheme, which serializes reclamation against readers.
 unsafe impl<T: Send> Sync for HarrisList<T> {}
 
 impl<T: Send> Default for HarrisList<T> {
@@ -137,12 +139,15 @@ impl<T: Send> HarrisList<T> {
             let prev = &self.head;
             let mut cur = prev.load(Acquire, guard);
             loop {
+                // SAFETY: loaded under `guard`; the epoch keeps it alive.
                 let cur_ref = unsafe { cur.as_ref() }?;
                 let next = cur_ref.next.load(Acquire, guard);
                 if next.tag() == 1 {
                     // cur already logically deleted: help unlink it.
                     match prev.compare_exchange(cur, next.with_tag(0), AcqRel, Relaxed, guard) {
                         Ok(_) => {
+                            // SAFETY: our CAS unlinked `cur`; only the
+                            // unlinking thread defers it.
                             unsafe { guard.defer_destroy(cur) };
                             cur = next.with_tag(0);
                             continue;
@@ -164,6 +169,7 @@ impl<T: Send> HarrisList<T> {
                             .compare_exchange(cur, next.with_tag(0), AcqRel, Relaxed, guard)
                             .is_ok()
                         {
+                            // SAFETY: our CAS unlinked `cur`; unique defer.
                             unsafe { guard.defer_destroy(cur) };
                         }
                         return Some((priority, item));
@@ -184,6 +190,7 @@ impl<T: Send> HarrisList<T> {
     /// [`HarrisList::peek_min`] under a caller-provided epoch guard.
     pub fn peek_min_with(&self, guard: &Guard) -> Option<u64> {
         let mut cur = self.head.load(Acquire, guard);
+        // SAFETY: loaded under `guard`; the epoch keeps the node alive.
         while let Some(r) = unsafe { cur.as_ref() } {
             let next = r.next.load(Acquire, guard);
             if next.tag() == 0 {
@@ -211,6 +218,7 @@ impl<T: Send> HarrisList<T> {
             let mut prev = &self.head;
             let mut cur = prev.load(Acquire, guard);
             loop {
+                // SAFETY: loaded under `guard`; the epoch keeps it alive.
                 let cur_ref = match unsafe { cur.as_ref() } {
                     Some(r) => r,
                     None => return (prev, cur),
@@ -219,6 +227,8 @@ impl<T: Send> HarrisList<T> {
                 if next.tag() == 1 {
                     match prev.compare_exchange(cur, next.with_tag(0), AcqRel, Relaxed, guard) {
                         Ok(_) => {
+                            // SAFETY: our CAS unlinked `cur`; only the
+                            // unlinking thread defers it.
                             unsafe { guard.defer_destroy(cur) };
                             cur = next.with_tag(0);
                             continue;
@@ -243,9 +253,13 @@ impl<T> Drop for HarrisList<T> {
         let guard = unsafe { epoch::unprotected() };
         let mut cur = self.head.load(Relaxed, guard);
         while !cur.is_null() {
+            // SAFETY: exclusive access (&mut self); every node is live
+            // until this sweep frees it.
             let next = unsafe { cur.deref() }.next.load(Relaxed, guard);
+            // SAFETY: this sweep is the unique free of each node.
             let mut owned = unsafe { cur.into_owned() };
             if next.tag() == 0 {
+                // SAFETY: tag 0 means no popper moved the payload out.
                 unsafe { ManuallyDrop::drop(&mut owned.item) };
             }
             drop(owned);
@@ -263,8 +277,8 @@ impl<T> fmt::Debug for HarrisList<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rsched_sync::atomic::{AtomicUsize, Ordering};
     use std::collections::HashSet;
-    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Mutex};
 
     #[test]

@@ -10,8 +10,8 @@ use crate::rng;
 use crate::{ConcurrentScheduler, BATCH_SCATTER_RUN};
 use crossbeam::epoch;
 use crossbeam::utils::CachePadded;
+use rsched_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A MultiQueue over Harris lists.
 ///

@@ -5,10 +5,10 @@ use crate::rng;
 use crate::{ConcurrentScheduler, Entry, BATCH_SCATTER_RUN};
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
+use rsched_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// The per-bucket structure a [`MultiQueue`] guards behind each bucket
 /// lock: a min-heap of entries. Public because it names the default bucket

@@ -20,12 +20,12 @@
 
 use crate::rng;
 use crate::ConcurrentScheduler;
+use rsched_sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
+use rsched_sync::atomic::{AtomicU64, AtomicUsize};
 use std::fmt;
 use std::marker::PhantomData;
 use std::mem::ManuallyDrop;
 use std::ptr;
-use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
-use std::sync::atomic::{AtomicU64, AtomicUsize};
 
 const MAX_HEIGHT: usize = 24;
 
@@ -53,6 +53,7 @@ fn untag<T>(x: usize) -> *mut Node<T> {
 /// `p` must be non-null and point to a node registered with a live
 /// `SprayList` (nodes are only freed when the list drops).
 unsafe fn node_ref<'a, T>(p: *mut Node<T>) -> &'a Node<T> {
+    // SAFETY: contract above.
     unsafe { &*p }
 }
 
@@ -82,6 +83,8 @@ pub struct SprayList<T> {
 // SAFETY: nodes are shared across threads; payloads are moved out only by
 // the unique winner of the deletion-mark CAS, so `T: Send` suffices.
 unsafe impl<T: Send> Send for SprayList<T> {}
+// SAFETY: as for Send — shared mutation is all atomic, and nodes are only
+// freed by the exclusive Drop sweep.
 unsafe impl<T: Send> Sync for SprayList<T> {}
 
 impl<T: Send> SprayList<T> {
@@ -158,11 +161,13 @@ impl<T: Send> SprayList<T> {
                 if Self::is_deleted(cur) {
                     // Unlink cur at this level, preserving the link's own
                     // deletion tag (the link may belong to a deleted pred).
+                    // SAFETY: registered nodes live until the list drops.
                     let nextx = unsafe { node_ref(cur).tower[level].load(Acquire) };
                     let new = (untag::<T>(nextx) as usize) | (curx & DELETED);
                     let _ = link.compare_exchange(curx, new, AcqRel, Acquire);
                     continue; // reload this link either way
                 }
+                // SAFETY: registered nodes live until the list drops.
                 let cur_key = unsafe { (*cur).key };
                 if cur_key < key {
                     pred = cur;
@@ -186,6 +191,7 @@ impl<T: Send> SprayList<T> {
         // Register for end-of-life reclamation (Treiber push).
         loop {
             let old = self.registry.load(Acquire);
+            // SAFETY: `node` is freshly allocated and still unpublished.
             unsafe { (*node).reg_next.store(old, Relaxed) };
             if self.registry.compare_exchange(old, node as usize, AcqRel, Acquire).is_ok() {
                 break;
@@ -197,6 +203,7 @@ impl<T: Send> SprayList<T> {
         // Harris mark on pred's bottom link makes lost inserts impossible.
         loop {
             self.find((priority, seq), &mut preds, &mut succs);
+            // SAFETY: `node` is registered; nodes live until the list drops.
             unsafe { node_ref(node).tower[0].store(succs[0] as usize, Relaxed) };
             let link = self.link(preds[0], 0);
             if link.compare_exchange(succs[0] as usize, node as usize, AcqRel, Acquire).is_ok() {
@@ -212,6 +219,7 @@ impl<T: Send> SprayList<T> {
                 }
                 let pred = preds[level];
                 let succ = succs[level];
+                // SAFETY: registered nodes live until the list drops.
                 unsafe { node_ref(node).tower[level].store(succ as usize, Relaxed) };
                 let link = self.link(pred, level);
                 if link.compare_exchange(succ as usize, node as usize, AcqRel, Acquire).is_ok() {
@@ -256,6 +264,7 @@ impl<T: Send> SprayList<T> {
             if !Self::is_deleted(cur) {
                 return cur;
             }
+            // SAFETY: registered nodes live until the list drops.
             cur = untag::<T>(unsafe { node_ref(cur).tower[0].load(Acquire) });
         }
         ptr::null_mut()
@@ -275,16 +284,19 @@ impl<T: Send> SprayList<T> {
             let mut hops = 0usize;
             let mut last_key = None;
             while !cur.is_null() && hops < 64 {
+                // SAFETY (all node_ref uses in this walk): registered
+                // nodes live until the list drops.
                 let bottom = unsafe { node_ref(cur).tower[0].load(Acquire) };
-                last_key = Some(unsafe { node_ref(cur).key });
+                last_key = Some(unsafe { node_ref(cur).key }); // SAFETY: as above.
                 if bottom & DELETED == 0
+                    // SAFETY: as above.
                     && unsafe { &node_ref(cur).tower[0] }
                         .compare_exchange(bottom, bottom | DELETED, AcqRel, Acquire)
                         .is_ok()
                 {
                     // SAFETY: we won the mark; we are the unique owner.
                     let item = unsafe { ptr::read(&*node_ref(cur).item) };
-                    let key = unsafe { node_ref(cur).key };
+                    let key = unsafe { node_ref(cur).key }; // SAFETY: as above.
                     self.len.fetch_sub(1, AcqRel);
                     // Trigger physical unlinking along the search path.
                     let mut preds = [ptr::null_mut(); MAX_HEIGHT];
@@ -292,6 +304,7 @@ impl<T: Send> SprayList<T> {
                     self.find(key, &mut preds, &mut succs);
                     return Some((key.0, item));
                 }
+                // SAFETY: as above.
                 cur = untag::<T>(unsafe { node_ref(cur).tower[0].load(Acquire) });
                 hops += 1;
             }
@@ -330,19 +343,23 @@ impl<T: Send> SprayList<T> {
             let mut hops = 0usize;
             let mut last_key = None;
             while !cur.is_null() && hops < 64 + max && got < max {
+                // SAFETY (all node_ref uses in this walk): registered
+                // nodes live until the list drops.
                 let bottom = unsafe { node_ref(cur).tower[0].load(Acquire) };
-                last_key = Some(unsafe { node_ref(cur).key });
+                last_key = Some(unsafe { node_ref(cur).key }); // SAFETY: as above.
                 if bottom & DELETED == 0
+                    // SAFETY: as above.
                     && unsafe { &node_ref(cur).tower[0] }
                         .compare_exchange(bottom, bottom | DELETED, AcqRel, Acquire)
                         .is_ok()
                 {
                     // SAFETY: we won the mark; we are the unique owner.
                     let item = unsafe { ptr::read(&*node_ref(cur).item) };
-                    let key = unsafe { node_ref(cur).key };
+                    let key = unsafe { node_ref(cur).key }; // SAFETY: as above.
                     out.push((key.0, item));
                     got += 1;
                 }
+                // SAFETY: as above.
                 cur = untag::<T>(unsafe { node_ref(cur).tower[0].load(Acquire) });
                 hops += 1;
             }
@@ -398,9 +415,14 @@ impl<T> Drop for SprayList<T> {
         // exactly once; payloads drop unless a popper took them.
         let mut cur = self.registry.load(Relaxed) as *mut Node<T>;
         while !cur.is_null() {
+            // SAFETY: exclusive access (&mut self); nodes stay live until
+            // this very sweep frees them.
             let next = unsafe { (*cur).reg_next.load(Relaxed) } as *mut Node<T>;
+            // SAFETY: the registry holds each allocation exactly once, so
+            // this is the unique free.
             let mut node = unsafe { Box::from_raw(cur) };
             if node.tower[0].load(Relaxed) & DELETED == 0 {
+                // SAFETY: unmarked means no popper moved the payload out.
                 unsafe { ManuallyDrop::drop(&mut node.item) };
             }
             drop(node);
@@ -421,8 +443,8 @@ impl<T> fmt::Debug for SprayList<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rsched_sync::atomic::Ordering::SeqCst;
     use std::collections::HashSet;
-    use std::sync::atomic::Ordering::SeqCst;
     use std::sync::{Arc, Mutex};
 
     #[test]

@@ -57,12 +57,12 @@
 
 use crossbeam::utils::{Backoff, CachePadded};
 use parking_lot::Mutex;
+use rsched_sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::cell::{RefCell, UnsafeCell};
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 
 /// A raw mutual-exclusion primitive: acquire returns a per-hold token that
 /// the matching release consumes.
@@ -206,6 +206,8 @@ unsafe impl RawLock for TicketLock {
         ticket
     }
 
+    // SAFETY contract on `RawLock::release`: `ticket` came from `acquire`
+    // and the caller still holds the lock.
     unsafe fn release(&self, ticket: u64) {
         self.owner.store(ticket.wrapping_add(1), Ordering::Release);
     }
@@ -271,10 +273,26 @@ fn mcs_node_pop() -> *mut McsNode {
 /// `node` must be quiescent: allocated by [`mcs_node_pop`], with no other
 /// thread holding a reference to it.
 unsafe fn mcs_node_push(node: *mut McsNode) {
+    // SAFETY: contract above — we are the unique owner of `node`.
     let node = unsafe { Box::from_raw(node) };
     // During thread teardown the TLS pool may already be gone; dropping the
     // box instead is safe precisely because the node is quiescent.
     let _ = MCS_POOL.try_with(move |pool| pool.borrow_mut().push(node));
+}
+
+/// Ordering of the MCS release-path handoff store (`successor.locked =
+/// false`). Must be `Release`: it is the edge that publishes the holder's
+/// critical section to the successor's `Acquire` spin load. The model
+/// checker's seeded `mcs-unlock-relaxed` mutation downgrades it to prove
+/// the checker catches a *lost happens-before edge* (a data race on the
+/// protected data) even though mutual exclusion itself still holds.
+#[inline]
+fn mcs_unlock_publish_ordering() -> Ordering {
+    #[cfg(rsched_model)]
+    if rsched_sync::model::mutation_enabled("mcs-unlock-relaxed") {
+        return Ordering::Relaxed;
+    }
+    Ordering::Release
 }
 
 /// MCS queue lock \[Mellor-Crummey & Scott '91\]: an explicit waiter queue
@@ -339,6 +357,8 @@ unsafe impl RawLock for McsLock {
         node as usize
     }
 
+    // SAFETY contract on `RawLock::release`: `token` came from `acquire`
+    // and the caller still holds the lock.
     unsafe fn release(&self, token: usize) {
         let node = token as *mut McsNode;
         // SAFETY (all derefs): `node` is this hold's node; it stays ours
@@ -364,7 +384,7 @@ unsafe impl RawLock for McsLock {
                 }
             }
             let next = (*node).next.load(Ordering::Acquire);
-            (*next).locked.store(false, Ordering::Release);
+            (*next).locked.store(false, mcs_unlock_publish_ordering());
             // The successor's link store was its final access to our node,
             // and we just observed it — quiescent, safe to recycle.
             mcs_node_push(node);
@@ -433,6 +453,7 @@ fn clh_node_pop() -> *mut ClhNode {
 ///
 /// `node` must be quiescent (no other thread holds a reference).
 unsafe fn clh_node_push(node: *mut ClhNode) {
+    // SAFETY: contract above — we are the unique owner of `node`.
     let node = unsafe { Box::from_raw(node) };
     let _ = CLH_POOL.try_with(move |pool| pool.borrow_mut().push(node));
 }
@@ -511,11 +532,55 @@ unsafe impl RawLock for ClhLock {
         node as usize
     }
 
+    // SAFETY contract on `RawLock::release`: `token` came from `acquire`
+    // and the caller still holds the lock.
     unsafe fn release(&self, token: usize) {
         let node = token as *mut ClhNode;
         // SAFETY: our own enqueued node; the successor (or a future
         // acquirer) observes the clear and recycles it.
         unsafe { (*node).locked.store(false, Ordering::Release) };
+    }
+}
+
+#[cfg(rsched_model)]
+impl ClhLock {
+    /// The tempting-but-**unsound** non-blocking CLH acquire: read the
+    /// tail, check its flag is clear, then CAS a fresh node over it.
+    ///
+    /// This is exactly the `try_acquire` the module docs rule out, kept
+    /// (model-builds only) as a permanent regression witness: CLH nodes
+    /// rotate to their successor's pool, so the tail *address* can be
+    /// recycled and re-enqueued **locked** between the flag check and the
+    /// CAS — the CAS then succeeds against a node whose flag check is
+    /// stale (classic ABA), admitting two holders at once. The
+    /// `model_lock` suite demands the checker find that interleaving.
+    ///
+    /// Unlike the sound acquire path, a successful call *leaks* the
+    /// predecessor node instead of pooling it: in the ABA interleaving
+    /// the address is simultaneously another holder's live token, and
+    /// pooling it would turn the demonstration into a genuine double-free
+    /// in the host process.
+    pub fn try_acquire_unsound(&self) -> Option<usize> {
+        let tail = self.tail.load(Ordering::Acquire);
+        // SAFETY: model-only demonstration code. The scenario keeps every
+        // node allocated for the whole execution (pools recycle but never
+        // free until thread exit), so the deref reads live memory even
+        // when the protocol-level ABA fires.
+        if unsafe { (*tail).locked.load(Ordering::Acquire) } {
+            return None;
+        }
+        let node = clh_node_pop();
+        // SAFETY: exclusively ours until published by the CAS.
+        unsafe { (*node).locked.store(true, Ordering::Relaxed) };
+        match self.tail.compare_exchange(tail, node, Ordering::AcqRel, Ordering::Relaxed) {
+            // Deliberately do NOT pool `tail` (see the doc comment).
+            Ok(_) => Some(node as usize),
+            Err(_) => {
+                // SAFETY: never published — still exclusively ours.
+                unsafe { clh_node_push(node) };
+                None
+            }
+        }
     }
 }
 
@@ -551,6 +616,8 @@ pub struct Lock<R: RawLock, T: ?Sized> {
 // access to `data`, so sharing the wrapper only requires the data itself to
 // be sendable across the handoff.
 unsafe impl<R: RawLock, T: ?Sized + Send> Send for Lock<R, T> {}
+// SAFETY: as for Send — `&Lock` only reaches `data` through the raw lock,
+// which serializes every access.
 unsafe impl<R: RawLock, T: ?Sized + Send> Sync for Lock<R, T> {}
 
 impl<R: RawLock, T> Lock<R, T> {
@@ -700,7 +767,7 @@ impl<R: RawTryLock, T: Send> BucketLock<T> for Lock<R, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use rsched_sync::atomic::AtomicUsize;
     use std::sync::Mutex as StdMutex;
 
     /// Exactly-once handoff torture: `threads × iters` increments of an

@@ -6,8 +6,8 @@
 //! reproducibility matters — the sequential simulation models take a caller
 //! seeded `rand::Rng`.
 
+use rsched_sync::atomic::{AtomicU64, Ordering};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 static SEED_COUNTER: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
 

@@ -28,8 +28,8 @@
 
 use crate::{hash, rng, ConcurrentScheduler, PriorityScheduler, SchedulerLoad};
 use crossbeam::utils::CachePadded;
+use rsched_sync::atomic::{AtomicIsize, Ordering};
 use std::hash::Hash;
-use std::sync::atomic::{AtomicIsize, Ordering};
 
 /// One in this many affinity pops starts at a uniformly random shard
 /// instead of the worker's own. Affinity is a fast-path *bias*, not a

@@ -120,6 +120,39 @@ impl Bencher {
     }
 }
 
+/// In-process record of every benchmark result, so `harness = false`
+/// mains can emit machine-readable reports after the groups run (the
+/// upstream crate writes its own JSON; this shim just hands the numbers
+/// back to the caller).
+pub mod results {
+    use std::sync::Mutex;
+
+    /// One benchmark's timing summary, in nanoseconds per iteration.
+    #[derive(Debug, Clone)]
+    pub struct Sample {
+        /// Full benchmark id (`group/function`).
+        pub id: String,
+        /// Fastest timed sample.
+        pub min_ns: f64,
+        /// Median timed sample.
+        pub median_ns: f64,
+        /// Mean over all timed samples.
+        pub mean_ns: f64,
+    }
+
+    static RESULTS: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+
+    pub(crate) fn record(sample: Sample) {
+        RESULTS.lock().expect("results registry poisoned").push(sample);
+    }
+
+    /// Drains and returns every sample recorded since the last call, in
+    /// execution order.
+    pub fn take() -> Vec<Sample> {
+        std::mem::take(&mut *RESULTS.lock().expect("results registry poisoned"))
+    }
+}
+
 fn fast_mode() -> bool {
     std::env::var_os("RSCHED_BENCH_FAST").is_some_and(|v| v == "1")
 }
@@ -140,6 +173,12 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F)
     let median = per_iter[per_iter.len() / 2];
     let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
     println!("{id:<50} min {min:>12.3?}  median {median:>12.3?}  mean {mean:>12.3?}");
+    results::record(results::Sample {
+        id: id.to_string(),
+        min_ns: min.as_secs_f64() * 1e9,
+        median_ns: median.as_secs_f64() * 1e9,
+        mean_ns: mean.as_secs_f64() * 1e9,
+    });
 }
 
 /// Declares a group of benchmark functions, mirroring upstream's macro.
@@ -181,6 +220,21 @@ mod tests {
         }
         // warm-up + 3 samples
         assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn results_registry_records_and_drains() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("reg");
+            group.sample_size(2);
+            group.bench_function("probe", |b| b.iter(|| black_box(1 + 1)));
+            group.finish();
+        }
+        let samples = results::take();
+        assert!(samples.iter().any(|s| s.id == "reg/probe"));
+        let again = results::take();
+        assert!(!again.iter().any(|s| s.id == "reg/probe"), "take() must drain");
     }
 
     #[test]

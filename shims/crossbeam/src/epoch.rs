@@ -66,10 +66,10 @@
 //! The caller contract is upstream's: only [`Guard::defer_destroy`] objects
 //! that are already unreachable to threads that pin *after* the call.
 
+use rsched_sync::atomic::{fence, AtomicUsize, Ordering};
 use std::cell::{Cell, UnsafeCell};
 use std::marker::PhantomData;
 use std::mem::ManuallyDrop;
-use std::sync::atomic::{self, AtomicUsize, Ordering};
 
 /// How many bagged garbage items trigger a collection attempt on unpin.
 const COLLECT_THRESHOLD: usize = 64;
@@ -156,6 +156,8 @@ impl Local {
     fn acquire() -> &'static Local {
         let mut p = GLOBAL.locals.load(Ordering::Acquire);
         while p != 0 {
+            // SAFETY: registry records are leaked, never freed, so any
+            // pointer once published in the list stays valid for 'static.
             let local = unsafe { &*(p as *const Local) };
             if local.state.load(Ordering::Relaxed) == FREE
                 && local
@@ -209,6 +211,7 @@ impl Local {
             return;
         }
         self.retire_on_unpin.set(false);
+        // SAFETY: the bag is only ever touched by its owning thread.
         let bag = unsafe { &mut *self.bag.get() };
         if !bag.is_empty() {
             push_orphan(std::mem::take(bag));
@@ -223,6 +226,7 @@ fn push_orphan(items: Vec<(usize, Deferred)>) {
     let node = Box::into_raw(Box::new(Orphan { next: 0, items }));
     let mut head = GLOBAL.orphans.load(Ordering::Relaxed);
     loop {
+        // SAFETY: `node` is ours alone until the CAS below publishes it.
         unsafe { (*node).next = head };
         match GLOBAL.orphans.compare_exchange_weak(
             head,
@@ -267,6 +271,8 @@ fn collect_orphans(freeable: &mut Vec<Deferred>) {
     let freed_before = freeable.len();
     let mut keep: Vec<(usize, Deferred)> = Vec::new();
     while p != 0 {
+        // SAFETY: the swap above detached the whole chain; we are its sole
+        // owner, and each node was allocated via Box::into_raw.
         let node = unsafe { Box::from_raw(p as *mut Orphan) };
         p = node.next;
         for (stamp, deferred) in node.items {
@@ -294,9 +300,10 @@ fn try_advance() -> usize {
     let global_epoch = GLOBAL.epoch.load(Ordering::SeqCst);
     // Pairs with the fence in `pin`: scans ordered after this fence see
     // every pin whose fence preceded it (module comment, bullet one).
-    atomic::fence(Ordering::SeqCst);
+    fence(Ordering::SeqCst);
     let mut p = GLOBAL.locals.load(Ordering::Acquire);
     while p != 0 {
+        // SAFETY: registry records are leaked, never freed ('static).
         let local = unsafe { &*(p as *const Local) };
         let word = local.epoch.load(Ordering::Relaxed);
         if word & PINNED != 0 && word & !PINNED != global_epoch {
@@ -305,7 +312,7 @@ fn try_advance() -> usize {
         }
         p = local.next.load(Ordering::Acquire);
     }
-    atomic::fence(Ordering::Acquire);
+    fence(Ordering::Acquire);
     match GLOBAL.epoch.compare_exchange(
         global_epoch,
         global_epoch.wrapping_add(STEP),
@@ -322,6 +329,8 @@ fn try_advance() -> usize {
 fn collect(local: &Local) {
     let mut freeable: Vec<Deferred> = Vec::new();
     {
+        // SAFETY: `local` is the calling thread's own record; nobody else
+        // touches its bag.
         let bag = unsafe { &mut *local.bag.get() };
         let mut global_epoch = GLOBAL.epoch.load(Ordering::SeqCst);
         // Garbage-driven advancement: only scan the registry when this bag
@@ -344,6 +353,9 @@ fn collect(local: &Local) {
     // Free with no outstanding borrows: a pointee's Drop may legally pin,
     // defer, or collect again.
     for deferred in freeable {
+        // SAFETY: the stamp check proved the deferral's epoch expired, so
+        // no pin taken before the unlink can still be live; each entry is
+        // drained from exactly one bag, so this free happens exactly once.
         unsafe { (deferred.drop_fn)(deferred.ptr) };
     }
 }
@@ -369,7 +381,53 @@ thread_local! {
 fn pin_slot(local: &Local) {
     let e = GLOBAL.epoch.load(Ordering::Relaxed);
     local.epoch.store(e | PINNED, Ordering::Relaxed);
-    atomic::fence(Ordering::SeqCst);
+    // Seeded mutation for the model checker: dropping the handshake fence
+    // must let `try_advance` scan past a pin it never observed and reclaim
+    // under a live reference (the `model_epoch` test demands this finding).
+    #[cfg(rsched_model)]
+    if rsched_sync::model::mutation_enabled("epoch-skip-pin-fence") {
+        return;
+    }
+    // Pairs with the fence in `try_advance` (module comment, bullet one).
+    fence(Ordering::SeqCst);
+}
+
+/// Rewinds the global epoch state between model-checker executions so each
+/// explored interleaving starts from identical ground: drains every
+/// leftover bag and orphan (running the deferred destructors directly) and
+/// resets the epoch. Direct mode only — callers must guarantee no thread
+/// is registered or pinned.
+#[cfg(rsched_model)]
+pub fn model_reset() {
+    let mut p = GLOBAL.orphans.swap(0, Ordering::SeqCst);
+    while p != 0 {
+        // SAFETY: the swap took exclusive ownership of the whole stack and
+        // every node was created by `Box::into_raw` in `push_orphan`.
+        let node = unsafe { Box::from_raw(p as *mut Orphan) };
+        p = node.next;
+        for (_, deferred) in node.items {
+            // SAFETY: no thread is pinned (caller contract), so every
+            // deferred pointee is unreachable and owned by us.
+            unsafe { (deferred.drop_fn)(deferred.ptr) };
+        }
+    }
+    let mut p = GLOBAL.locals.load(Ordering::SeqCst);
+    while p != 0 {
+        // SAFETY: registry records are leaked and never freed; the pointer
+        // chain is append-only.
+        let local = unsafe { &*(p as *const Local) };
+        local.epoch.store(0, Ordering::SeqCst);
+        local.state.store(FREE, Ordering::SeqCst);
+        // SAFETY: no registered threads (caller contract) means no owner
+        // can touch this bag concurrently.
+        for (_, deferred) in unsafe { &mut *local.bag.get() }.drain(..) {
+            // SAFETY: as above — unreachable, exclusively owned garbage.
+            unsafe { (deferred.drop_fn)(deferred.ptr) };
+        }
+        p = local.next.load(Ordering::SeqCst);
+    }
+    GLOBAL.epoch.store(0, Ordering::SeqCst);
+    GLOBAL.orphan_sweep.store(usize::MAX, Ordering::SeqCst);
 }
 
 /// Pins the current thread, returning a guard that keeps the epoch from
@@ -447,13 +505,15 @@ impl Guard {
         debug_assert!(raw != 0, "defer_destroy on null pointer");
         let deferred = Deferred { ptr: raw, drop_fn: drop_box::<T> };
         match self.local() {
-            // Unprotected: caller vouches for exclusivity; free now.
+            // SAFETY: unprotected guard — the caller vouched that no other
+            // thread can reach the pointee, so freeing now is sound.
             None => unsafe { (deferred.drop_fn)(deferred.ptr) },
             Some(local) => {
                 // At most one step stale (we are pinned, so the epoch can
                 // have advanced at most once since our pin) — absorbed by
                 // the EXPIRY margin.
                 let stamp = GLOBAL.epoch.load(Ordering::SeqCst);
+                // SAFETY: the bag belongs to this (pinned) thread alone.
                 unsafe { &mut *local.bag.get() }.push((stamp, deferred));
             }
         }
@@ -484,7 +544,11 @@ impl Guard {
     }
 }
 
+/// # Safety
+///
+/// `ptr` must come from `Box::into_raw::<T>` and must not have been freed.
 unsafe fn drop_box<T>(ptr: usize) {
+    // SAFETY: contract above — this is the unique free of that allocation.
     drop(unsafe { Box::from_raw(ptr as *mut T) });
 }
 
@@ -495,6 +559,7 @@ impl Drop for Guard {
         local.guard_count.set(count - 1);
         if count == 1 {
             local.epoch.store(0, Ordering::Release);
+            // SAFETY: the bag belongs to this thread alone.
             if unsafe { &*local.bag.get() }.len() >= COLLECT_THRESHOLD {
                 collect(local);
             }
@@ -527,6 +592,7 @@ pub struct Atomic<T> {
 
 // SAFETY: same contract as `AtomicPtr<T>` plus epoch-managed lifetime.
 unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: as for Send — shared access only hands out epoch-guarded loads.
 unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
 
 impl<T> Atomic<T> {
@@ -620,6 +686,8 @@ impl<T> Pointer<T> for Owned<T> {
         ManuallyDrop::new(self).data
     }
 
+    // SAFETY contract on `Pointer::from_usize`: `data` came from
+    // `into_usize` on an `Owned` and ownership transfers here.
     unsafe fn from_usize(data: usize) -> Self {
         Owned { data, _marker: PhantomData }
     }
@@ -699,6 +767,7 @@ impl<'g, T> Shared<'g, T> {
     ///
     /// The pointer must be valid (epoch-protected) for `'g`.
     pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        // SAFETY: forwarded — the caller guarantees validity for 'g.
         unsafe { (self.untagged() as *const T).as_ref() }
     }
 
@@ -708,6 +777,7 @@ impl<'g, T> Shared<'g, T> {
     ///
     /// The pointer must be non-null and valid (epoch-protected) for `'g`.
     pub unsafe fn deref(&self) -> &'g T {
+        // SAFETY: forwarded — the caller guarantees non-null validity for 'g.
         unsafe { &*(self.untagged() as *const T) }
     }
 
@@ -728,6 +798,8 @@ impl<T> Pointer<T> for Shared<'_, T> {
         self.data
     }
 
+    // SAFETY contract on `Pointer::from_usize`: `data` is a live tagged
+    // pointer whose pointee outlives the borrow this `Shared` represents.
     unsafe fn from_usize(data: usize) -> Self {
         Shared { data, _marker: PhantomData }
     }
@@ -750,7 +822,7 @@ impl<T> std::fmt::Debug for Shared<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::Ordering::{Acquire, Release, SeqCst};
+    use rsched_sync::atomic::Ordering::{Acquire, Release, SeqCst};
 
     #[test]
     fn owned_roundtrip_and_tags() {
@@ -760,12 +832,14 @@ mod tests {
         a.store(Owned::new(42u64), Release);
         let s = a.load(Acquire, &guard);
         assert!(!s.is_null());
+        // SAFETY: just stored, never unlinked, and we are pinned.
         assert_eq!(unsafe { *s.deref() }, 42);
         assert_eq!(s.tag(), 0);
         let tagged = s.with_tag(1);
         assert_eq!(tagged.tag(), 1);
+        // SAFETY: same pointee, tag bits do not affect validity.
         assert_eq!(unsafe { *tagged.with_tag(0).deref() }, 42);
-        // Clean up.
+        // SAFETY: this test is the value's only owner; unique reclaim.
         unsafe { drop(a.load(Acquire, &guard).into_owned()) };
     }
 
@@ -781,6 +855,7 @@ mod tests {
             .expect_err("CAS from stale value must fail");
         assert_eq!(err.current, cur);
         assert_eq!(*err.new, 2);
+        // SAFETY: this test is the value's only owner; unique reclaim.
         unsafe { drop(a.load(Acquire, &guard).into_owned()) };
     }
 
@@ -796,6 +871,7 @@ mod tests {
         a.store(Owned::new(Probe(counter)), Release);
         let s = a.load(Acquire, guard);
         a.store(Shared::null(), Release);
+        // SAFETY: just unlinked; no other thread ever saw `a`.
         unsafe { guard.defer_destroy(s) };
     }
 
@@ -829,6 +905,8 @@ mod tests {
     #[test]
     fn unprotected_frees_immediately() {
         static DROPS: AtomicUsize = AtomicUsize::new(0);
+        // SAFETY: the probe atomic is local to `defer_probe`; no other
+        // thread can reach anything freed through this guard.
         let guard = unsafe { unprotected() };
         defer_probe(guard, &DROPS);
         assert_eq!(DROPS.load(SeqCst), 1);
@@ -901,7 +979,9 @@ mod tests {
             let a: Atomic<u8> = Atomic::null();
             a.store(Owned::new(9u8), Release);
             let s = a.load(Acquire, &inner);
+            // SAFETY: just stored, never shared outside this scope.
             assert_eq!(unsafe { *s.deref() }, 9);
+            // SAFETY: sole owner; unique reclaim.
             unsafe { drop(s.into_owned()) };
         }
         // Dropping the inner guard must not unpin the outer one; pinning

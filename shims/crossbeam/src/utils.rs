@@ -76,8 +76,16 @@ impl Backoff {
 
     /// Backs off in a tight retry loop (pure spinning, no yields).
     pub fn spin(&self) {
-        for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
-            std::hint::spin_loop();
+        // Under the model checker a backoff iteration is a scheduling
+        // point: the simulated thread parks until another thread stores,
+        // instead of burning simulated steps re-reading the same state.
+        #[cfg(rsched_model)]
+        rsched_sync::spin_wait();
+        #[cfg(not(rsched_model))]
+        {
+            for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+                std::hint::spin_loop();
+            }
         }
         if self.step.get() <= SPIN_LIMIT {
             self.step.set(self.step.get() + 1);
@@ -87,12 +95,18 @@ impl Backoff {
     /// Backs off in a blocking loop: spins while cheap, yields once the
     /// exponent passes the spin limit.
     pub fn snooze(&self) {
-        if self.step.get() <= SPIN_LIMIT {
-            for _ in 0..1u32 << self.step.get() {
-                std::hint::spin_loop();
+        // See `spin`: a snooze is a park-until-store point in the model.
+        #[cfg(rsched_model)]
+        rsched_sync::spin_wait();
+        #[cfg(not(rsched_model))]
+        {
+            if self.step.get() <= SPIN_LIMIT {
+                for _ in 0..1u32 << self.step.get() {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
             }
-        } else {
-            std::thread::yield_now();
         }
         if self.step.get() <= YIELD_LIMIT {
             self.step.set(self.step.get() + 1);

@@ -1,0 +1,383 @@
+//! Model-build atomic wrappers (compiled only under `--cfg rsched_model`).
+//!
+//! Each wrapper embeds the matching `std` atomic as an *inline mirror*: the
+//! mirror always holds the newest store in modification order. Registered
+//! model threads route every operation through the controller (making it a
+//! scheduling point with full weak-memory semantics); unregistered threads
+//! — the controller itself, test harness threads, TLS destructors running
+//! after an execution — fall through to the mirror directly, so the entire
+//! ported codebase keeps working when it is *not* under the checker.
+
+use crate::runtime::{self, Op, Resp, RmwKind};
+use std::sync::atomic as std_atomic;
+pub use std::sync::atomic::Ordering;
+
+macro_rules! int_atomic {
+    ($name:ident, $std:ident, $t:ty, $mask:expr) => {
+        #[repr(transparent)]
+        #[derive(Debug, Default)]
+        pub struct $name {
+            v: std_atomic::$std,
+        }
+
+        impl $name {
+            pub const fn new(v: $t) -> $name {
+                $name { v: std_atomic::$std::new(v) }
+            }
+
+            #[inline]
+            fn loc(&self) -> usize {
+                self as *const $name as usize
+            }
+
+            #[inline]
+            fn init(&self) -> u64 {
+                (self.v.load(Ordering::SeqCst) as u64) & $mask
+            }
+
+            pub fn load(&self, ord: Ordering) -> $t {
+                match runtime::request(Op::Load { loc: self.loc(), init: self.init(), ord }) {
+                    Some(r) => r.val as $t,
+                    None => self.v.load(ord),
+                }
+            }
+
+            pub fn store(&self, val: $t, ord: Ordering) {
+                let op = Op::Store {
+                    loc: self.loc(),
+                    init: self.init(),
+                    ord,
+                    val: (val as u64) & $mask,
+                };
+                match runtime::request(op) {
+                    Some(_) => self.v.store(val, Ordering::SeqCst),
+                    None => self.v.store(val, ord),
+                }
+            }
+
+            pub fn swap(&self, val: $t, ord: Ordering) -> $t {
+                match self.rmw(RmwKind::Swap((val as u64) & $mask), ord, ord) {
+                    Some(r) => {
+                        self.v.store(val, Ordering::SeqCst);
+                        r.val as $t
+                    }
+                    None => self.v.swap(val, ord),
+                }
+            }
+
+            pub fn fetch_add(&self, val: $t, ord: Ordering) -> $t {
+                match self.rmw(RmwKind::Add((val as u64) & $mask), ord, ord) {
+                    Some(r) => {
+                        let old = r.val as $t;
+                        self.v.store(old.wrapping_add(val), Ordering::SeqCst);
+                        old
+                    }
+                    None => self.v.fetch_add(val, ord),
+                }
+            }
+
+            pub fn fetch_sub(&self, val: $t, ord: Ordering) -> $t {
+                match self.rmw(RmwKind::Sub((val as u64) & $mask), ord, ord) {
+                    Some(r) => {
+                        let old = r.val as $t;
+                        self.v.store(old.wrapping_sub(val), Ordering::SeqCst);
+                        old
+                    }
+                    None => self.v.fetch_sub(val, ord),
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $t,
+                new: $t,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$t, $t> {
+                let kind =
+                    RmwKind::Cas { expect: (current as u64) & $mask, new: (new as u64) & $mask };
+                match self.rmw(kind, success, failure) {
+                    Some(r) => {
+                        if r.ok {
+                            self.v.store(new, Ordering::SeqCst);
+                            Ok(r.val as $t)
+                        } else {
+                            Err(r.val as $t)
+                        }
+                    }
+                    None => self.v.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            /// Modeled as the strong variant: no spurious failures. This
+            /// under-approximates spurious-failure retry paths, which are
+            /// control-flow-equivalent to a genuine failure here.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $t,
+                new: $t,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$t, $t> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn get_mut(&mut self) -> &mut $t {
+                self.v.get_mut()
+            }
+
+            pub fn into_inner(self) -> $t {
+                self.v.into_inner()
+            }
+
+            fn rmw(&self, kind: RmwKind, ord: Ordering, ford: Ordering) -> Option<Resp> {
+                runtime::request(Op::Rmw {
+                    loc: self.loc(),
+                    init: self.init(),
+                    ord,
+                    ford,
+                    kind,
+                    mask: $mask,
+                })
+            }
+        }
+
+        impl From<$t> for $name {
+            fn from(v: $t) -> $name {
+                $name::new(v)
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicUsize, AtomicUsize, usize, u64::MAX);
+int_atomic!(AtomicIsize, AtomicIsize, isize, u64::MAX);
+int_atomic!(AtomicU64, AtomicU64, u64, u64::MAX);
+int_atomic!(AtomicU32, AtomicU32, u32, 0xFFFF_FFFFu64);
+int_atomic!(AtomicU8, AtomicU8, u8, 0xFFu64);
+
+#[repr(transparent)]
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    v: std_atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool { v: std_atomic::AtomicBool::new(v) }
+    }
+
+    #[inline]
+    fn loc(&self) -> usize {
+        self as *const AtomicBool as usize
+    }
+
+    #[inline]
+    fn init(&self) -> u64 {
+        self.v.load(Ordering::SeqCst) as u64
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        match runtime::request(Op::Load { loc: self.loc(), init: self.init(), ord }) {
+            Some(r) => r.val != 0,
+            None => self.v.load(ord),
+        }
+    }
+
+    pub fn store(&self, val: bool, ord: Ordering) {
+        let op = Op::Store { loc: self.loc(), init: self.init(), ord, val: val as u64 };
+        match runtime::request(op) {
+            Some(_) => self.v.store(val, Ordering::SeqCst),
+            None => self.v.store(val, ord),
+        }
+    }
+
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        let op = Op::Rmw {
+            loc: self.loc(),
+            init: self.init(),
+            ord,
+            ford: ord,
+            kind: RmwKind::Swap(val as u64),
+            mask: 1,
+        };
+        match runtime::request(op) {
+            Some(r) => {
+                self.v.store(val, Ordering::SeqCst);
+                r.val != 0
+            }
+            None => self.v.swap(val, ord),
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        let op = Op::Rmw {
+            loc: self.loc(),
+            init: self.init(),
+            ord: success,
+            ford: failure,
+            kind: RmwKind::Cas { expect: current as u64, new: new as u64 },
+            mask: 1,
+        };
+        match runtime::request(op) {
+            Some(r) => {
+                if r.ok {
+                    self.v.store(new, Ordering::SeqCst);
+                    Ok(r.val != 0)
+                } else {
+                    Err(r.val != 0)
+                }
+            }
+            None => self.v.compare_exchange(current, new, success, failure),
+        }
+    }
+
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.v.get_mut()
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.v.into_inner()
+    }
+}
+
+impl From<bool> for AtomicBool {
+    fn from(v: bool) -> AtomicBool {
+        AtomicBool::new(v)
+    }
+}
+
+pub struct AtomicPtr<T> {
+    v: std_atomic::AtomicPtr<T>,
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicPtr").finish_non_exhaustive()
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> AtomicPtr<T> {
+        AtomicPtr::new(std::ptr::null_mut())
+    }
+}
+
+impl<T> AtomicPtr<T> {
+    pub const fn new(p: *mut T) -> AtomicPtr<T> {
+        AtomicPtr { v: std_atomic::AtomicPtr::new(p) }
+    }
+
+    #[inline]
+    fn loc(&self) -> usize {
+        self as *const AtomicPtr<T> as usize
+    }
+
+    #[inline]
+    fn init(&self) -> u64 {
+        self.v.load(Ordering::SeqCst) as usize as u64
+    }
+
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        match runtime::request(Op::Load { loc: self.loc(), init: self.init(), ord }) {
+            Some(r) => r.val as usize as *mut T,
+            None => self.v.load(ord),
+        }
+    }
+
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        let op = Op::Store { loc: self.loc(), init: self.init(), ord, val: p as usize as u64 };
+        match runtime::request(op) {
+            Some(_) => self.v.store(p, Ordering::SeqCst),
+            None => self.v.store(p, ord),
+        }
+    }
+
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        let op = Op::Rmw {
+            loc: self.loc(),
+            init: self.init(),
+            ord,
+            ford: ord,
+            kind: RmwKind::Swap(p as usize as u64),
+            mask: u64::MAX,
+        };
+        match runtime::request(op) {
+            Some(r) => {
+                self.v.store(p, Ordering::SeqCst);
+                r.val as usize as *mut T
+            }
+            None => self.v.swap(p, ord),
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        let op = Op::Rmw {
+            loc: self.loc(),
+            init: self.init(),
+            ord: success,
+            ford: failure,
+            kind: RmwKind::Cas { expect: current as usize as u64, new: new as usize as u64 },
+            mask: u64::MAX,
+        };
+        match runtime::request(op) {
+            Some(r) => {
+                if r.ok {
+                    self.v.store(new, Ordering::SeqCst);
+                    Ok(r.val as usize as *mut T)
+                } else {
+                    Err(r.val as usize as *mut T)
+                }
+            }
+            None => self.v.compare_exchange(current, new, success, failure),
+        }
+    }
+
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.v.get_mut()
+    }
+
+    pub fn into_inner(self) -> *mut T {
+        self.v.into_inner()
+    }
+}
+
+/// Model-aware memory fence: a scheduling point with C11 fence semantics
+/// under the checker, a real `std` fence otherwise.
+pub fn fence(ord: Ordering) {
+    if runtime::request(Op::Fence { ord }).is_none() {
+        std_atomic::fence(ord);
+    }
+}

@@ -1,0 +1,85 @@
+//! Model-build `Mutex` (compiled only under `--cfg rsched_model`).
+//!
+//! A blocking mutex built from the façade's own `AtomicBool`, so lock
+//! acquisition and release are ordinary scheduling points with
+//! acquire/release semantics, contention parks the thread until another
+//! thread stores (the release), and lock-order deadlocks surface as the
+//! checker's all-threads-blocked violation. API-compatible with the
+//! `std::sync::Mutex` subset the ported code uses (`lock().unwrap()`);
+//! poisoning is never reported.
+
+use crate::atomic::{AtomicBool, Ordering};
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::LockResult;
+
+#[derive(Default)]
+pub struct Mutex<T> {
+    held: AtomicBool,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the `held` flag serializes access to `data` exactly like a real
+// mutex; under the model scheduler only one thread runs at a time anyway.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: see `Send` — `&Mutex<T>` only yields `&mut T` through an acquired
+// guard, and acquisition is mutually exclusive via `held`.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(data: T) -> Mutex<T> {
+        Mutex { held: AtomicBool::new(false), data: UnsafeCell::new(data) }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        loop {
+            if self.held.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok()
+            {
+                return Ok(MutexGuard { m: self });
+            }
+            // Parks this thread until another thread performs a store (the
+            // unlocking `held.store(false)` at the latest).
+            crate::spin_wait();
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    m: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves this thread won the `held` CAS; no other
+        // thread can observe `held == false` until our Drop stores it.
+        unsafe { &*self.m.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `Deref` — exclusive by mutual exclusion on `held`.
+        unsafe { &mut *self.m.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.m.held.store(false, Ordering::Release);
+    }
+}

@@ -1,0 +1,317 @@
+//! Litmus self-tests for the model checker (run with
+//! `RUSTFLAGS="--cfg rsched_model" cargo test -p rsched-sync --test litmus`).
+//!
+//! These pin the checker's weak-memory semantics from both sides: correct
+//! protocols pass clean, and the classic relaxed-memory anomalies (store
+//! buffering, unsynchronized message passing) are *found* — so a clean
+//! protocol report means something.
+#![cfg(rsched_model)]
+
+use rsched_sync::atomic::{fence, AtomicUsize, Ordering};
+use rsched_sync::model::{Model, RaceCell, Sim};
+use rsched_sync::sync::Mutex;
+use std::sync::Arc;
+
+/// SB with SeqCst accesses: `r0 == 0 && r1 == 0` must be impossible.
+#[test]
+fn store_buffering_seqcst_clean() {
+    let report = Model::new("sb-seqcst").check(|sim: &mut Sim| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let r0 = Arc::new(AtomicUsize::new(9));
+        let r1 = Arc::new(AtomicUsize::new(9));
+        {
+            let (x, y, r0) = (x.clone(), y.clone(), r0.clone());
+            sim.thread(move || {
+                x.store(1, Ordering::SeqCst);
+                r0.store(y.load(Ordering::SeqCst), Ordering::Relaxed);
+            });
+        }
+        {
+            let (x, y, r1) = (x.clone(), y.clone(), r1.clone());
+            sim.thread(move || {
+                y.store(1, Ordering::SeqCst);
+                r1.store(x.load(Ordering::SeqCst), Ordering::Relaxed);
+            });
+        }
+        sim.finally(move || {
+            let (a, b) = (r0.load(Ordering::Relaxed), r1.load(Ordering::Relaxed));
+            assert!(!(a == 0 && b == 0), "store buffering observed under SeqCst");
+        });
+    });
+    report.assert_clean(2);
+    assert!(report.exhausted, "tiny litmus should be exhaustively explored");
+}
+
+/// SB with relaxed stores + SeqCst *fences* (the Dekker/`CapacityWaiters`
+/// shape): still impossible — this is exactly the guarantee the
+/// backpressure protocol leans on.
+#[test]
+fn store_buffering_fences_clean() {
+    let report = Model::new("sb-fences").check(|sim: &mut Sim| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let r0 = Arc::new(AtomicUsize::new(9));
+        let r1 = Arc::new(AtomicUsize::new(9));
+        {
+            let (x, y, r0) = (x.clone(), y.clone(), r0.clone());
+            sim.thread(move || {
+                x.store(1, Ordering::Relaxed);
+                // Pairs with the fence in the other thread: total fence
+                // order forbids both threads reading 0.
+                fence(Ordering::SeqCst);
+                r0.store(y.load(Ordering::Relaxed), Ordering::Relaxed);
+            });
+        }
+        {
+            let (x, y, r1) = (x.clone(), y.clone(), r1.clone());
+            sim.thread(move || {
+                y.store(1, Ordering::Relaxed);
+                // See above: SB partner fence.
+                fence(Ordering::SeqCst);
+                r1.store(x.load(Ordering::Relaxed), Ordering::Relaxed);
+            });
+        }
+        sim.finally(move || {
+            let (a, b) = (r0.load(Ordering::Relaxed), r1.load(Ordering::Relaxed));
+            assert!(!(a == 0 && b == 0), "store buffering observed despite SeqCst fences");
+        });
+    });
+    report.assert_clean(2);
+    assert!(report.exhausted);
+}
+
+/// SB with only release/acquire: both-read-zero IS allowed — the checker
+/// must find it. This is what separates the model from naive
+/// sequentially-consistent exploration.
+#[test]
+fn store_buffering_release_acquire_found() {
+    let report = Model::new("sb-relacq").quiet().check(|sim: &mut Sim| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let r0 = Arc::new(AtomicUsize::new(9));
+        let r1 = Arc::new(AtomicUsize::new(9));
+        {
+            let (x, y, r0) = (x.clone(), y.clone(), r0.clone());
+            sim.thread(move || {
+                x.store(1, Ordering::Release);
+                r0.store(y.load(Ordering::Acquire), Ordering::Relaxed);
+            });
+        }
+        {
+            let (x, y, r1) = (x.clone(), y.clone(), r1.clone());
+            sim.thread(move || {
+                y.store(1, Ordering::Release);
+                r1.store(x.load(Ordering::Acquire), Ordering::Relaxed);
+            });
+        }
+        sim.finally(move || {
+            let (a, b) = (r0.load(Ordering::Relaxed), r1.load(Ordering::Relaxed));
+            assert!(!(a == 0 && b == 0), "store buffering reached (expected under rel/acq)");
+        });
+    });
+    let v = report.expect_violation();
+    assert!(v.message.contains("store buffering"), "unexpected violation: {}", v.message);
+}
+
+/// Message passing with release/acquire: the reader that sees the flag
+/// must see the data. Passes clean.
+#[test]
+fn message_passing_release_acquire_clean() {
+    let report = Model::new("mp-relacq").check(|sim: &mut Sim| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        {
+            let (data, flag) = (data.clone(), flag.clone());
+            sim.thread(move || {
+                data.store(42, Ordering::Relaxed);
+                flag.store(1, Ordering::Release);
+            });
+        }
+        {
+            let (data, flag) = (data.clone(), flag.clone());
+            sim.thread(move || {
+                if flag.load(Ordering::Acquire) == 1 {
+                    assert_eq!(data.load(Ordering::Relaxed), 42, "stale data after acquire");
+                }
+            });
+        }
+    });
+    report.assert_clean(2);
+    assert!(report.exhausted);
+}
+
+/// Message passing with a relaxed flag: the stale-data interleaving exists
+/// and the checker must find it.
+#[test]
+fn message_passing_relaxed_found() {
+    let report = Model::new("mp-relaxed").quiet().check(|sim: &mut Sim| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        {
+            let (data, flag) = (data.clone(), flag.clone());
+            sim.thread(move || {
+                data.store(42, Ordering::Relaxed);
+                flag.store(1, Ordering::Relaxed);
+            });
+        }
+        {
+            let (data, flag) = (data.clone(), flag.clone());
+            sim.thread(move || {
+                if flag.load(Ordering::Relaxed) == 1 {
+                    assert_eq!(data.load(Ordering::Relaxed), 42, "stale data");
+                }
+            });
+        }
+    });
+    let v = report.expect_violation();
+    assert!(v.message.contains("stale data"), "unexpected violation: {}", v.message);
+}
+
+/// Unsynchronized non-atomic accesses are reported as a data race even
+/// when no assertion fails (the race detector, not luck, is the oracle).
+#[test]
+fn race_cell_detects_race() {
+    let report = Model::new("race-naked").quiet().check(|sim: &mut Sim| {
+        let cell = Arc::new(RaceCell::new(0u64));
+        let flag = Arc::new(AtomicUsize::new(0));
+        {
+            let (cell, flag) = (cell.clone(), flag.clone());
+            sim.thread(move || {
+                cell.set(1);
+                flag.store(1, Ordering::Relaxed); // relaxed: publishes nothing
+            });
+        }
+        {
+            let (cell, flag) = (cell.clone(), flag.clone());
+            sim.thread(move || {
+                if flag.load(Ordering::Relaxed) == 1 {
+                    let _ = cell.get();
+                }
+            });
+        }
+    });
+    let v = report.expect_violation();
+    assert!(v.message.contains("data race"), "unexpected violation: {}", v.message);
+}
+
+/// The same shape with a release/acquire flag has a real happens-before
+/// edge: no race.
+#[test]
+fn race_cell_release_acquire_clean() {
+    let report = Model::new("race-published").check(|sim: &mut Sim| {
+        let cell = Arc::new(RaceCell::new(0u64));
+        let flag = Arc::new(AtomicUsize::new(0));
+        {
+            let (cell, flag) = (cell.clone(), flag.clone());
+            sim.thread(move || {
+                cell.set(1);
+                flag.store(1, Ordering::Release);
+            });
+        }
+        {
+            let (cell, flag) = (cell.clone(), flag.clone());
+            sim.thread(move || {
+                if flag.load(Ordering::Acquire) == 1 {
+                    assert_eq!(cell.get(), 1);
+                }
+            });
+        }
+    });
+    report.assert_clean(2);
+    assert!(report.exhausted);
+}
+
+/// The model Mutex serializes its critical sections (no race reported) and
+/// blocked waiters park/resume correctly.
+#[test]
+fn model_mutex_serializes() {
+    let report = Model::new("mutex-serial").check(|sim: &mut Sim| {
+        let m = Arc::new(Mutex::new(0u64));
+        let cell = Arc::new(RaceCell::new(0u64));
+        for _ in 0..2 {
+            let (m, cell) = (m.clone(), cell.clone());
+            sim.thread(move || {
+                let mut g = m.lock().unwrap();
+                *g += 1;
+                let v = cell.get();
+                cell.set(v + 1);
+            });
+        }
+        let cell2 = cell.clone();
+        sim.finally(move || {
+            assert_eq!(cell2.get(), 2, "lost update through mutex");
+        });
+    });
+    report.assert_clean(2);
+    assert!(report.exhausted);
+}
+
+/// A spin loop that can never be released is reported as a deadlock, not
+/// an infinite hang.
+#[test]
+fn spin_deadlock_detected() {
+    let report = Model::new("spin-deadlock").quiet().max_executions(10).check(|sim: &mut Sim| {
+        let flag = Arc::new(AtomicUsize::new(0));
+        sim.thread(move || {
+            while flag.load(Ordering::Acquire) == 0 {
+                rsched_sync::spin_wait();
+            }
+        });
+    });
+    let v = report.expect_violation();
+    assert!(v.message.contains("deadlock"), "unexpected violation: {}", v.message);
+}
+
+/// A spin loop released by another thread's store terminates cleanly.
+#[test]
+fn spin_handoff_clean() {
+    let report = Model::new("spin-handoff").check(|sim: &mut Sim| {
+        let flag = Arc::new(AtomicUsize::new(0));
+        {
+            let flag = flag.clone();
+            sim.thread(move || {
+                while flag.load(Ordering::Acquire) == 0 {
+                    rsched_sync::spin_wait();
+                }
+            });
+        }
+        {
+            let flag = flag.clone();
+            sim.thread(move || flag.store(1, Ordering::Release));
+        }
+    });
+    report.assert_clean(2);
+    assert!(report.exhausted);
+}
+
+/// A violation trace replays deterministically to the same violation in a
+/// single execution.
+#[test]
+fn replay_reproduces_violation() {
+    let scenario = |sim: &mut Sim| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        {
+            let (data, flag) = (data.clone(), flag.clone());
+            sim.thread(move || {
+                data.store(42, Ordering::Relaxed);
+                flag.store(1, Ordering::Relaxed);
+            });
+        }
+        {
+            let (data, flag) = (data.clone(), flag.clone());
+            sim.thread(move || {
+                if flag.load(Ordering::Relaxed) == 1 {
+                    assert_eq!(data.load(Ordering::Relaxed), 42, "stale data");
+                }
+            });
+        }
+    };
+    let first = Model::new("replay-src").quiet().check(scenario);
+    let trace = first.expect_violation().trace.clone();
+    let second = Model::new("replay-dst").quiet().replay(&trace).check(scenario);
+    assert_eq!(second.executions, 1, "replay must be a single execution");
+    let v = second.expect_violation();
+    assert!(v.message.contains("stale data"), "replayed to a different violation: {}", v.message);
+}
