@@ -1,7 +1,7 @@
 //! Criterion benchmarks for end-to-end MIS: the sequential baseline vs the
 //! relaxed framework (sequential model and concurrent schedulers).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rsched_core::algorithms::mis::{greedy_mis, ConcurrentMis, MisTasks};
@@ -61,4 +61,37 @@ fn bench_mis(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_mis);
-criterion_main!(benches);
+// Hand-rolled `criterion_main!` (the queue_ops pattern): after the group
+// runs, `--json PATH` merges every benchmark's timing summary into the
+// shared report file
+// (`cargo bench -p rsched-bench --bench mis_throughput -- --json BENCH_9.json`).
+fn main() {
+    benches();
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args.get(i + 1).expect("--json needs a PATH argument");
+        let mut path = std::path::PathBuf::from(path);
+        if path.is_relative() {
+            // `cargo bench` runs this binary with cwd = the package dir
+            // (crates/bench); anchor relative paths at the workspace root
+            // so the entry lands in the same report as the experiment
+            // binaries'.
+            path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(path);
+        }
+        use rsched_bench::report::{update_report, Json};
+        let fields: Vec<(String, Json)> = criterion::results::take()
+            .into_iter()
+            .map(|s| {
+                let summary = Json::obj([
+                    ("min_ns", Json::Num(s.min_ns)),
+                    ("median_ns", Json::Num(s.median_ns)),
+                    ("mean_ns", Json::Num(s.mean_ns)),
+                    ("trimmed_mean_ns", Json::Num(s.trimmed_mean_ns)),
+                ]);
+                (s.id, summary)
+            })
+            .collect();
+        update_report(&path, "mis_throughput", &Json::Obj(fields));
+        println!("json mis_throughput timings merged into {}", path.display());
+    }
+}

@@ -11,6 +11,7 @@ use rsched_queues::concurrent::{
 };
 use rsched_queues::exact::{BinaryHeapScheduler, PairingHeap};
 use rsched_queues::lock::{ClhLock, Lock, McsLock, RawLock, TicketLock};
+use rsched_queues::reclaim::{Backend, Ebr, Reclaim, Vbr};
 use rsched_queues::relaxed::{SimMultiQueue, SimSprayList, TopKUniform};
 use rsched_queues::sharded::ShardedScheduler;
 use rsched_queues::{ConcurrentScheduler, PriorityScheduler};
@@ -547,6 +548,59 @@ fn bench_cross_scheduler_contention(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `--reclaim {ebr,vbr}` CLI filter: restricts the bake-off cells to
+/// one backend so a single backend can be re-measured in isolation; both
+/// run when the flag is absent.
+fn reclaim_filter() -> Option<Backend> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--reclaim")?;
+    let v = args.get(i + 1).expect("--reclaim needs a value: ebr | vbr");
+    Some(v.parse().unwrap_or_else(|e| panic!("--reclaim: {e}")))
+}
+
+/// One bake-off cell: `threads` workers scalar-pop a prefilled
+/// `LockFreeMultiQueue<_, R>` to empty. Scalar pops on purpose — each EBR
+/// pop pays a pin (store + SeqCst fence) where VBR validates with plain
+/// loads, and batching would amortize exactly the cost under test.
+fn bakeoff_drain<R: Reclaim>(threads: usize) {
+    let q = LockFreeMultiQueue::<u32, R>::prefilled_in(
+        4 * threads.max(2),
+        (0..N).map(|p| (p, p as u32)),
+    );
+    if threads == 1 {
+        black_box(drain_scalar(&q));
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| black_box(drain_scalar(&q)));
+            }
+        });
+    }
+}
+
+fn bench_reclaim_bakeoff(c: &mut Criterion) {
+    // The reclamation tentpole measurement: EBR's pinned pop vs VBR's
+    // validate-only pop on the same lock-free MultiQueue drain, at 1
+    // thread (pure per-op overhead — the per-pop fence is the whole gap)
+    // and 2/4/8 threads (where CAS contention starts to share the bill).
+    let filter = reclaim_filter();
+    let mut group = c.benchmark_group("reclaim_bakeoff");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        if filter.is_none_or(|b| b == Backend::Ebr) {
+            group.bench_with_input(BenchmarkId::new("ebr", threads), &threads, |b, &t| {
+                b.iter(|| bakeoff_drain::<Ebr>(t))
+            });
+        }
+        if filter.is_none_or(|b| b == Backend::Vbr) {
+            group.bench_with_input(BenchmarkId::new("vbr", threads), &threads, |b, &t| {
+                b.iter(|| bakeoff_drain::<Vbr>(t))
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sequential,
@@ -556,7 +610,8 @@ criterion_group!(
     bench_lf_multiqueue_contention,
     bench_sharded_contention,
     bench_lock_ops,
-    bench_cross_scheduler_contention
+    bench_cross_scheduler_contention,
+    bench_reclaim_bakeoff
 );
 // Hand-rolled `criterion_main!`: after the groups run, `--json PATH`
 // merges every benchmark's timing summary into the shared report file
@@ -582,6 +637,7 @@ fn main() {
                     ("min_ns", Json::Num(s.min_ns)),
                     ("median_ns", Json::Num(s.median_ns)),
                     ("mean_ns", Json::Num(s.mean_ns)),
+                    ("trimmed_mean_ns", Json::Num(s.trimmed_mean_ns)),
                 ]);
                 (s.id, summary)
             })

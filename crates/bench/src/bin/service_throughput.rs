@@ -24,7 +24,11 @@
 //! Usage: `service_throughput [--workload all|connectivity|sssp] [--n N]
 //! [--m M] [--producers P] [--workers W] [--queues Q] [--queue-capacity C]
 //! [--flush-batch F] [--watermark H] [--batch-size B] [--shards S]
-//! [--reps R] [--seed S] [--json PATH] [--quick]`
+//! [--reps R] [--seed S] [--reclaim ebr|vbr] [--json PATH] [--quick]`
+//!
+//! `--reclaim vbr` swaps the shard queues' memory reclamation from the
+//! default epoch scheme to version-based reclamation (no pin on the pop
+//! path; see DESIGN.md "Reclamation semantics").
 //!
 //! `--json PATH` merges machine-readable medians into the shared bench
 //! report (see `rsched_bench::report`; the committed `BENCH_6.json` at the
@@ -44,6 +48,7 @@ use rsched_core::service::{
 use rsched_core::TaskId;
 use rsched_graph::{gen, WeightedCsr};
 use rsched_queues::concurrent::LockFreeMultiQueue;
+use rsched_queues::reclaim::{Backend, Ebr, Reclaim, Vbr};
 use rsched_queues::sharded::ShardedScheduler;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -74,10 +79,11 @@ struct Knobs {
     seed: u64,
     config: ServiceConfig,
     shards: usize,
+    reclaim: Backend,
 }
 
-fn sched(shards: usize) -> ShardedScheduler<LockFreeMultiQueue<TaskId>> {
-    ShardedScheduler::from_fn(shards, |_| LockFreeMultiQueue::new(4))
+fn sched<R: Reclaim>(shards: usize) -> ShardedScheduler<LockFreeMultiQueue<TaskId, R>> {
+    ShardedScheduler::from_fn(shards, |_| LockFreeMultiQueue::new_in(4))
 }
 
 fn median_f64(mut xs: Vec<f64>) -> f64 {
@@ -87,7 +93,7 @@ fn median_f64(mut xs: Vec<f64>) -> f64 {
 
 /// One connectivity rep: live-stream `edges.len()` edge ids through the
 /// service, returning `(ops/sec, (p50, p95, p99) latency in µs)`.
-fn connectivity_rep(
+fn connectivity_rep<R: Reclaim>(
     n: usize,
     edges: &[(u32, u32)],
     expected: &[u32],
@@ -100,7 +106,7 @@ fn connectivity_rep(
     let push_ns: Vec<AtomicU64> = (0..m).map(|_| AtomicU64::new(0)).collect();
     let done_ns: Vec<AtomicU64> = (0..m).map(|_| AtomicU64::new(0)).collect();
     let timed = TimedHandler { inner: &handler, clock: &clock, done_ns: &done_ns };
-    let q = sched(knobs.shards);
+    let q = sched::<R>(knobs.shards);
     let np = knobs.producers as u32;
     let producers: Vec<ProducerFn<'_>> = (0..np)
         .map(|p| {
@@ -130,9 +136,9 @@ fn connectivity_rep(
 
 /// One SSSP rep: a single seeded flood; returns `(flood seconds,
 /// relaxations/sec)` where a "relaxation" is one accepted wavefront task.
-fn sssp_rep(g: &WeightedCsr, expected: &[u64], knobs: &Knobs) -> (f64, f64) {
+fn sssp_rep<R: Reclaim>(g: &WeightedCsr, expected: &[u64], knobs: &Knobs) -> (f64, f64) {
     let handler = SsspHandler::new(g);
-    let q = sched(knobs.shards);
+    let q = sched::<R>(knobs.shards);
     let (seed_priority, seed_task) = handler.request(0, 0);
     let producers: Vec<ProducerFn<'_>> = (0..knobs.producers)
         .map(|_| {
@@ -172,6 +178,7 @@ fn main() {
             ("--shards S", "scheduler shards (default 3)"),
             ("--reps R", "repetitions per workload"),
             ("--seed S", "base RNG seed"),
+            ("--reclaim R", "scheduler memory reclamation: ebr | vbr (default ebr)"),
             ("--json PATH", "merge machine-readable medians into the report at PATH"),
         ],
     ) else {
@@ -200,18 +207,23 @@ fn main() {
             pump_threads: args.get_usize("pump-threads", 1),
         },
         shards: args.get_usize("shards", 3),
+        reclaim: args
+            .get_str("reclaim")
+            .map(|s| s.parse().unwrap_or_else(|e| panic!("--reclaim: {e}")))
+            .unwrap_or(Backend::Ebr),
     };
     assert!(knobs.producers >= 1, "--producers must be positive");
     assert!(knobs.reps >= 1, "--reps must be positive");
     assert!(knobs.shards >= 1, "--shards must be positive");
 
     println!(
-        "streaming service: {} producers -> {} queues -> {} shards -> {} workers (batch {})\n",
+        "streaming service: {} producers -> {} queues -> {} shards -> {} workers (batch {}, reclaim {})\n",
         knobs.producers,
         knobs.config.ingest_queues,
         knobs.shards,
         knobs.config.workers,
-        knobs.config.batch_size
+        knobs.config.batch_size,
+        knobs.reclaim
     );
 
     let mut medians = Medians::default();
@@ -221,7 +233,10 @@ fn main() {
         let mut ops = Vec::new();
         let (mut p50s, mut p95s, mut p99s) = (Vec::new(), Vec::new(), Vec::new());
         for _ in 0..knobs.reps {
-            let (o, (p50, p95, p99)) = connectivity_rep(n, &edges, &expected, &knobs);
+            let (o, (p50, p95, p99)) = match knobs.reclaim {
+                Backend::Ebr => connectivity_rep::<Ebr>(n, &edges, &expected, &knobs),
+                Backend::Vbr => connectivity_rep::<Vbr>(n, &edges, &expected, &knobs),
+            };
             ops.push(o);
             p50s.push(p50);
             p95s.push(p95);
@@ -251,7 +266,10 @@ fn main() {
         let mut floods = Vec::new();
         let mut relax = Vec::new();
         for _ in 0..knobs.reps {
-            let (secs, rps) = sssp_rep(&g, &expected, &knobs);
+            let (secs, rps) = match knobs.reclaim {
+                Backend::Ebr => sssp_rep::<Ebr>(&g, &expected, &knobs),
+                Backend::Vbr => sssp_rep::<Vbr>(&g, &expected, &knobs),
+            };
             floods.push(secs);
             relax.push(rps);
         }
@@ -274,6 +292,7 @@ fn main() {
             ("shards".to_string(), Json::Int(knobs.shards as u64)),
             ("batch_size".to_string(), Json::Int(knobs.config.batch_size as u64)),
             ("reps".to_string(), Json::Int(knobs.reps as u64)),
+            ("reclaim".to_string(), Json::Str(knobs.reclaim.as_str().to_string())),
         ];
         if let Some((ops, p50, p95, p99)) = medians.conn {
             fields.push(("connectivity_ops_per_sec".to_string(), Json::Num(ops)));

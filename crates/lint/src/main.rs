@@ -16,10 +16,11 @@
 //!   wrong or about to be "optimized" by someone who can't see why it's
 //!   right.
 //! * `facade-atomics` — crates ported onto the `rsched_sync` façade
-//!   (`crates/queues/src`, `crates/core/src/service`,
-//!   `shims/crossbeam/src`) must not name `std::sync::atomic` /
-//!   `core::sync::atomic` directly, otherwise the model checker silently
-//!   loses sight of those accesses.
+//!   (`crates/queues/src` — including the `reclaim` backends, whose
+//!   version counters are exactly what the model checker must see —
+//!   `crates/core/src/service`, `shims/crossbeam/src`) must not name
+//!   `std::sync::atomic` / `core::sync::atomic` directly, otherwise the
+//!   model checker silently loses sight of those accesses.
 //!
 //! Escape hatch: a `lint:allow(<rule>)` comment anywhere on the flagged
 //! line suppresses that rule for the line.
@@ -34,7 +35,10 @@ const SCAN_DIRS: &[&str] = &["crates", "shims", "src", "tests", "examples", "ben
 
 /// File sets that must import atomics via `rsched_sync` only. The façade
 /// crate itself (`shims/model`) is the one place allowed to touch std
-/// atomics.
+/// atomics. `crates/queues/src` covers the whole crate including
+/// `reclaim/` — the VBR version counters live there and model-checked
+/// suites (`model_vbr.rs`) depend on every one of those accesses going
+/// through the façade; tests below pin that the nested paths stay scoped.
 const FACADE_PORTED: &[&str] =
     &["crates/queues/src", "crates/core/src/service", "shims/crossbeam/src"];
 
@@ -373,6 +377,30 @@ mod tests {
         assert_eq!(run("shims/crossbeam/src/epoch.rs", src).len(), 1);
         assert!(run("crates/bench/src/lib.rs", src).is_empty());
         assert!(run("shims/model/src/atomics.rs", src).is_empty());
+    }
+
+    #[test]
+    fn facade_rule_covers_reclamation_module() {
+        // The reclamation backends must stay façade-ported: a bypassed
+        // atomic here is a version counter the model checker cannot see.
+        let src = "use core::sync::atomic::AtomicU64;\n";
+        for file in [
+            "crates/queues/src/reclaim/mod.rs",
+            "crates/queues/src/reclaim/ebr.rs",
+            "crates/queues/src/reclaim/vbr.rs",
+        ] {
+            let v = run(file, src);
+            assert_eq!(v.len(), 1, "{file} must be façade-scoped");
+            assert_eq!(v[0].rule, RULE_FACADE);
+        }
+    }
+
+    #[test]
+    fn unsafe_in_reclamation_module_needs_safety_comment() {
+        let src = "fn f() {\n    let x = unsafe { ptr.read() };\n}\n";
+        let v = run("crates/queues/src/reclaim/vbr.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_UNSAFE);
     }
 
     #[test]

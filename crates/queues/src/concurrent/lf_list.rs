@@ -1,31 +1,25 @@
-//! Harris's lock-free sorted linked list with epoch-based reclamation.
+//! Harris's lock-free sorted linked list, generic over memory reclamation.
 //!
 //! The paper's §4 implementation "uses lock-free lists to maintain the
 //! individual priority queues" of its MultiQueue; this is that building
 //! block. Keys are `(priority, seq)` pairs (unique by construction), nodes
-//! are logically deleted by tagging their `next` pointer and physically
-//! unlinked by any later traversal, and memory is reclaimed through
-//! `crossbeam::epoch` (nodes are only `defer_destroy`ed after the unlink
-//! CAS, satisfying the epoch contract that deferred objects are
-//! unreachable to later pins). The `*_with(guard)` variants let callers
-//! amortize one pin over a batch; batches long enough to stall global
-//! reclamation should `Guard::repin` between runs, as
-//! `LockFreeMultiQueue::insert_batch` does.
+//! are logically deleted by tagging their link word and physically unlinked
+//! by any later traversal. Memory management is pluggable through
+//! [`Reclaim`]: with the default [`Ebr`] backend nodes are heap boxes
+//! reclaimed through `crossbeam::epoch` (deferred after the unlink CAS,
+//! exactly the pre-PR-9 behavior); with [`Vbr`](crate::reclaim::Vbr) nodes
+//! live in a version-stamped slot arena and readers validate instead of
+//! pinning. The `*_with(guard)` variants let callers amortize one pin over
+//! a batch; batches long enough to stall global reclamation should
+//! [`HarrisList::repin_guard`] between runs, as
+//! `LockFreeMultiQueue::insert_batch` does (both are no-ops under VBR).
+//!
+//! The list is rooted at a never-retired sentinel node, so every traversal
+//! step — including the head — is a uniform `(node, link word)` pair for
+//! the backend to validate.
 
-use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
-use rsched_sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
+use crate::reclaim::{Ebr, Reclaim};
 use std::fmt;
-use std::mem::ManuallyDrop;
-use std::ptr;
-
-struct Node<T> {
-    key: (u64, u64),
-    /// Taken (`ptr::read`) by the thread that wins the marking CAS; dropped
-    /// in `Drop` only for nodes that were never popped.
-    item: ManuallyDrop<T>,
-    /// Low bit tag = this node is logically deleted.
-    next: Atomic<Node<T>>,
-}
 
 /// A sorted lock-free linked list with `insert` and `pop_min`.
 ///
@@ -34,6 +28,11 @@ struct Node<T> {
 /// the initial [`HarrisList::from_sorted`] bulk load (re-insertions of
 /// failed deletes are the only runtime inserts, and Theorem 2 bounds them by
 /// `poly(k)`).
+///
+/// The second type parameter selects the reclamation backend and defaults
+/// to [`Ebr`], so pre-existing call sites compile unchanged; use
+/// [`HarrisList::new_in`] / [`HarrisList::from_sorted_in`] to construct a
+/// list over another backend.
 ///
 /// # Examples
 ///
@@ -47,27 +46,31 @@ struct Node<T> {
 /// assert_eq!(list.pop_min(), Some((2, "b")));
 /// assert_eq!(list.pop_min(), None);
 /// ```
-pub struct HarrisList<T> {
-    head: Atomic<Node<T>>,
+pub struct HarrisList<T: Send, R: Reclaim = Ebr> {
+    dom: R::Domain<T>,
+    /// Sentinel node: allocated at construction, never marked or retired.
+    head: R::Ptr<T>,
 }
 
-// SAFETY: nodes are shared across threads but `item` is only ever moved out
-// by the single thread that wins the marking CAS, so `T: Send` suffices.
-unsafe impl<T: Send> Send for HarrisList<T> {}
-// SAFETY: as for Send — all shared mutation goes through atomics plus the
-// epoch scheme, which serializes reclamation against readers.
-unsafe impl<T: Send> Sync for HarrisList<T> {}
+// SAFETY: nodes are shared across threads but the payload is only ever
+// moved out by the single thread that wins the marking CAS, so `T: Send`
+// suffices; all other shared state is the backend's (`Domain: Send+Sync`).
+unsafe impl<T: Send, R: Reclaim> Send for HarrisList<T, R> {}
+// SAFETY: as for Send — all shared mutation goes through the backend's
+// atomics plus its reclamation protocol, which serializes (EBR) or
+// version-validates (VBR) reclamation against readers.
+unsafe impl<T: Send, R: Reclaim> Sync for HarrisList<T, R> {}
 
-impl<T: Send> Default for HarrisList<T> {
+impl<T: Send, R: Reclaim> Default for HarrisList<T, R> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
-impl<T: Send> HarrisList<T> {
-    /// Creates an empty list.
+impl<T: Send> HarrisList<T, Ebr> {
+    /// Creates an empty list over the default epoch backend.
     pub fn new() -> Self {
-        HarrisList { head: Atomic::null() }
+        Self::new_in()
     }
 
     /// Builds a list from entries sorted by `(priority, seq)` without any
@@ -80,26 +83,62 @@ impl<T: Send> HarrisList<T> {
     where
         I: IntoIterator<Item = (u64, u64, T)>,
     {
+        Self::from_sorted_in(entries)
+    }
+}
+
+impl<T: Send, R: Reclaim> HarrisList<T, R> {
+    /// Creates an empty list in a fresh domain of backend `R`.
+    pub fn new_in() -> Self {
+        let dom = R::new_domain();
+        let guard = R::pin(&dom);
+        let head = R::alloc(&dom, (0, 0), None, &guard);
+        HarrisList { dom, head }
+    }
+
+    /// [`HarrisList::from_sorted`] for an explicit backend `R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the entries are not strictly sorted.
+    pub fn from_sorted_in<I>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, u64, T)>,
+    {
         let items: Vec<(u64, u64, T)> = entries.into_iter().collect();
         debug_assert!(
             items.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
             "bulk-load entries must be strictly sorted"
         );
-        let list = Self::new();
-        // SAFETY: the list is not yet shared with any other thread.
-        let guard = unsafe { epoch::unprotected() };
-        let mut next: Shared<'_, Node<T>> = Shared::null();
+        let list = Self::new_in();
+        // The list is not yet shared: every link is set through the
+        // exclusive-owner path, no CAS.
+        let guard = R::pin(&list.dom);
+        let mut next = R::null();
         for (priority, seq, item) in items.into_iter().rev() {
-            let node = Owned::new(Node {
-                key: (priority, seq),
-                item: ManuallyDrop::new(item),
-                next: Atomic::null(),
-            });
-            node.next.store(next, Relaxed);
-            next = node.into_shared(guard);
+            let node = R::alloc(&list.dom, (priority, seq), Some(item), &guard);
+            R::set_next_exclusive(&list.dom, node, next);
+            next = node;
         }
-        list.head.store(next, Relaxed);
+        R::set_next_exclusive(&list.dom, list.head, next);
         list
+    }
+
+    /// Enters a read-side critical section for the `*_with` variants (an
+    /// epoch pin under EBR; free under VBR).
+    pub fn guard(&self) -> R::Guard<T> {
+        R::pin(&self.dom)
+    }
+
+    /// Exits and re-enters the critical section, letting reclamation
+    /// progress mid-batch.
+    pub fn repin_guard(&self, guard: &mut R::Guard<T>) {
+        R::repin(&self.dom, guard);
+    }
+
+    /// Flushes thread-local deferred garbage toward the collector.
+    pub fn flush_guard(&self, guard: &R::Guard<T>) {
+        R::flush(&self.dom, guard);
     }
 
     /// Inserts `item` with the unique key `(priority, seq)`.
@@ -107,21 +146,20 @@ impl<T: Send> HarrisList<T> {
     /// Callers must ensure key uniqueness (the MultiQueue wrapper assigns a
     /// global sequence number).
     pub fn insert(&self, priority: u64, seq: u64, item: T) {
-        self.insert_with(priority, seq, item, &epoch::pin());
+        self.insert_with(priority, seq, item, &self.guard());
     }
 
-    /// [`HarrisList::insert`] under a caller-provided epoch guard, so a
-    /// batch of inserts can share one pin.
-    pub fn insert_with(&self, priority: u64, seq: u64, item: T, guard: &Guard) {
+    /// [`HarrisList::insert`] under a caller-provided guard, so a batch of
+    /// inserts can share one pin.
+    pub fn insert_with(&self, priority: u64, seq: u64, item: T, guard: &R::Guard<T>) {
         let key = (priority, seq);
-        let mut node =
-            Owned::new(Node { key, item: ManuallyDrop::new(item), next: Atomic::null() });
+        let node = R::alloc(&self.dom, key, Some(item), guard);
         loop {
             let (prev, cur) = self.find(key, guard);
-            node.next.store(cur, Relaxed);
-            match prev.compare_exchange(cur, node, Release, Relaxed, guard) {
-                Ok(_) => return,
-                Err(e) => node = e.new,
+            // `node` is still exclusively ours until the CAS publishes it.
+            R::set_next_exclusive(&self.dom, node, cur);
+            if R::cas_next(&self.dom, prev, cur, node, guard) {
+                return;
             }
         }
     }
@@ -129,53 +167,62 @@ impl<T: Send> HarrisList<T> {
     /// Removes and returns the element with the smallest key, or `None` if
     /// the list was observed empty.
     pub fn pop_min(&self) -> Option<(u64, T)> {
-        self.pop_min_with(&epoch::pin())
+        self.pop_min_with(&self.guard())
     }
 
-    /// [`HarrisList::pop_min`] under a caller-provided epoch guard, so a
-    /// batch of pops can share one pin.
-    pub fn pop_min_with(&self, guard: &Guard) -> Option<(u64, T)> {
+    /// [`HarrisList::pop_min`] under a caller-provided guard, so a batch of
+    /// pops can share one pin.
+    pub fn pop_min_with(&self, guard: &R::Guard<T>) -> Option<(u64, T)> {
         'retry: loop {
-            let prev = &self.head;
-            let mut cur = prev.load(Acquire, guard);
+            // In a pop the predecessor is always the sentinel: the first
+            // live node *is* the minimum.
+            let prev = self.head;
+            let mut cur = match R::load_next(&self.dom, prev, guard) {
+                Some(c) => c,
+                None => continue 'retry,
+            };
             loop {
-                // SAFETY: loaded under `guard`; the epoch keeps it alive.
-                let cur_ref = unsafe { cur.as_ref() }?;
-                let next = cur_ref.next.load(Acquire, guard);
-                if next.tag() == 1 {
+                if R::is_null(cur) {
+                    return None;
+                }
+                let next = match R::load_next(&self.dom, cur, guard) {
+                    Some(n) => n,
+                    None => continue 'retry,
+                };
+                if R::tag(next) == 1 {
                     // cur already logically deleted: help unlink it.
-                    match prev.compare_exchange(cur, next.with_tag(0), AcqRel, Relaxed, guard) {
-                        Ok(_) => {
-                            // SAFETY: our CAS unlinked `cur`; only the
-                            // unlinking thread defers it.
-                            unsafe { guard.defer_destroy(cur) };
-                            cur = next.with_tag(0);
-                            continue;
-                        }
-                        Err(_) => continue 'retry,
+                    if R::cas_next(&self.dom, prev, cur, R::with_tag(next, 0), guard) {
+                        // SAFETY: our CAS unlinked `cur`; only the
+                        // unlinking thread retires it.
+                        unsafe { R::retire(&self.dom, cur, guard) };
+                        cur = R::with_tag(next, 0);
+                        continue;
                     }
+                    continue 'retry;
                 }
-                // Logical delete: tag cur's next pointer. Winning this CAS
-                // grants ownership of the payload.
-                match cur_ref.next.compare_exchange(next, next.with_tag(1), AcqRel, Relaxed, guard)
-                {
-                    Ok(_) => {
-                        let priority = cur_ref.key.0;
-                        // SAFETY: exactly one thread wins the marking CAS;
-                        // `Drop` skips items of marked nodes.
-                        let item = unsafe { ptr::read(&*cur_ref.item) };
-                        // Best-effort physical unlink.
-                        if prev
-                            .compare_exchange(cur, next.with_tag(0), AcqRel, Relaxed, guard)
-                            .is_ok()
-                        {
-                            // SAFETY: our CAS unlinked `cur`; unique defer.
-                            unsafe { guard.defer_destroy(cur) };
-                        }
-                        return Some((priority, item));
+                let key = match R::key(&self.dom, cur, guard) {
+                    Some(k) => k,
+                    None => continue 'retry,
+                };
+                // SAFETY: speculative copy (`cur` is non-null, loaded under
+                // `guard`); it is claimed only if the marking CAS below
+                // succeeds, and silently discarded otherwise.
+                let payload = unsafe { R::peek_payload(&self.dom, cur, guard) };
+                // Logical delete: tag cur's link word. Winning this CAS
+                // grants ownership of the payload copy.
+                if R::cas_next(&self.dom, cur, next, R::with_tag(next, 1), guard) {
+                    // SAFETY: exactly one thread wins the marking CAS, and
+                    // the backend guarantees the pre-CAS copy read the
+                    // claimed lifetime; `Drop` skips items of marked nodes.
+                    let item = unsafe { payload.assume_init() };
+                    // Best-effort physical unlink.
+                    if R::cas_next(&self.dom, prev, cur, R::with_tag(next, 0), guard) {
+                        // SAFETY: our CAS unlinked `cur`; unique retire.
+                        unsafe { R::retire(&self.dom, cur, guard) };
                     }
-                    Err(_) => continue 'retry,
+                    return Some((key.0, item));
                 }
+                continue 'retry;
             }
         }
     }
@@ -184,21 +231,33 @@ impl<T: Send> HarrisList<T> {
     ///
     /// A racy snapshot, used by the MultiQueue's two-choice comparison.
     pub fn peek_min(&self) -> Option<u64> {
-        self.peek_min_with(&epoch::pin())
+        self.peek_min_with(&self.guard())
     }
 
-    /// [`HarrisList::peek_min`] under a caller-provided epoch guard.
-    pub fn peek_min_with(&self, guard: &Guard) -> Option<u64> {
-        let mut cur = self.head.load(Acquire, guard);
-        // SAFETY: loaded under `guard`; the epoch keeps the node alive.
-        while let Some(r) = unsafe { cur.as_ref() } {
-            let next = r.next.load(Acquire, guard);
-            if next.tag() == 0 {
-                return Some(r.key.0);
+    /// [`HarrisList::peek_min`] under a caller-provided guard.
+    pub fn peek_min_with(&self, guard: &R::Guard<T>) -> Option<u64> {
+        'retry: loop {
+            let mut cur = match R::load_next(&self.dom, self.head, guard) {
+                Some(c) => c,
+                None => continue 'retry,
+            };
+            loop {
+                if R::is_null(cur) {
+                    return None;
+                }
+                let next = match R::load_next(&self.dom, cur, guard) {
+                    Some(n) => n,
+                    None => continue 'retry,
+                };
+                if R::tag(next) == 0 {
+                    match R::key(&self.dom, cur, guard) {
+                        Some(k) => return Some(k.0),
+                        None => continue 'retry,
+                    }
+                }
+                cur = R::with_tag(next, 0);
             }
-            cur = next.with_tag(0);
         }
-        None
     }
 
     /// Whether the list was observed to hold no live element.
@@ -206,84 +265,88 @@ impl<T: Send> HarrisList<T> {
         self.peek_min().is_none()
     }
 
-    /// Finds the insertion point for `key`: returns `(prev_link, cur)` where
-    /// `cur` is the first live node with key ≥ `key` (or null), unlinking
-    /// marked nodes along the way.
-    fn find<'g>(
-        &'g self,
-        key: (u64, u64),
-        guard: &'g Guard,
-    ) -> (&'g Atomic<Node<T>>, Shared<'g, Node<T>>) {
+    /// Finds the insertion point for `key`: returns `(prev, cur)` where
+    /// `cur` is the first live node with key ≥ `key` (or null) and `prev`
+    /// its predecessor (possibly the sentinel), unlinking marked nodes
+    /// along the way.
+    fn find(&self, key: (u64, u64), guard: &R::Guard<T>) -> (R::Ptr<T>, R::Ptr<T>) {
         'retry: loop {
-            let mut prev = &self.head;
-            let mut cur = prev.load(Acquire, guard);
+            let mut prev = self.head;
+            let mut cur = match R::load_next(&self.dom, prev, guard) {
+                Some(c) => c,
+                None => continue 'retry,
+            };
             loop {
-                // SAFETY: loaded under `guard`; the epoch keeps it alive.
-                let cur_ref = match unsafe { cur.as_ref() } {
-                    Some(r) => r,
-                    None => return (prev, cur),
-                };
-                let next = cur_ref.next.load(Acquire, guard);
-                if next.tag() == 1 {
-                    match prev.compare_exchange(cur, next.with_tag(0), AcqRel, Relaxed, guard) {
-                        Ok(_) => {
-                            // SAFETY: our CAS unlinked `cur`; only the
-                            // unlinking thread defers it.
-                            unsafe { guard.defer_destroy(cur) };
-                            cur = next.with_tag(0);
-                            continue;
-                        }
-                        Err(_) => continue 'retry,
-                    }
-                }
-                if cur_ref.key >= key {
+                if R::is_null(cur) {
                     return (prev, cur);
                 }
-                prev = &cur_ref.next;
+                let next = match R::load_next(&self.dom, cur, guard) {
+                    Some(n) => n,
+                    None => continue 'retry,
+                };
+                if R::tag(next) == 1 {
+                    if R::cas_next(&self.dom, prev, cur, R::with_tag(next, 0), guard) {
+                        // SAFETY: our CAS unlinked `cur`; only the
+                        // unlinking thread retires it.
+                        unsafe { R::retire(&self.dom, cur, guard) };
+                        cur = R::with_tag(next, 0);
+                        continue;
+                    }
+                    continue 'retry;
+                }
+                let ckey = match R::key(&self.dom, cur, guard) {
+                    Some(k) => k,
+                    None => continue 'retry,
+                };
+                if ckey >= key {
+                    return (prev, cur);
+                }
+                prev = cur;
                 cur = next;
             }
         }
     }
 }
 
-impl<T> Drop for HarrisList<T> {
+impl<T: Send, R: Reclaim> Drop for HarrisList<T, R> {
     fn drop(&mut self) {
-        // SAFETY: &mut self means no concurrent access; free every node,
-        // dropping payloads only where no popper took them.
-        let guard = unsafe { epoch::unprotected() };
-        let mut cur = self.head.load(Relaxed, guard);
-        while !cur.is_null() {
-            // SAFETY: exclusive access (&mut self); every node is live
-            // until this sweep frees it.
-            let next = unsafe { cur.deref() }.next.load(Relaxed, guard);
-            // SAFETY: this sweep is the unique free of each node.
-            let mut owned = unsafe { cur.into_owned() };
-            if next.tag() == 0 {
-                // SAFETY: tag 0 means no popper moved the payload out.
-                unsafe { ManuallyDrop::drop(&mut owned.item) };
-            }
-            drop(owned);
-            cur = next.with_tag(0);
+        // &mut self: no concurrent access. Free every node, dropping
+        // payloads only where no popper took them. Every node still linked
+        // is in its live lifetime (retire only follows unlink), so the
+        // exclusive loads below always validate.
+        let guard = R::pin(&self.dom);
+        let mut cur = R::load_next(&self.dom, self.head, &guard)
+            .expect("exclusive access: sentinel load cannot fail validation");
+        // SAFETY: exclusive access; the sentinel has no payload and this is
+        // its unique free.
+        unsafe { R::dealloc_exclusive(&self.dom, self.head, false) };
+        while !R::is_null(cur) {
+            let next = R::load_next(&self.dom, cur, &guard)
+                .expect("exclusive access: linked-node load cannot fail validation");
+            // SAFETY: exclusive access and the unique free of each node;
+            // tag 0 means no popper moved the payload out.
+            unsafe { R::dealloc_exclusive(&self.dom, cur, R::tag(next) == 0) };
+            cur = R::with_tag(next, 0);
         }
     }
 }
 
-impl<T> fmt::Debug for HarrisList<T> {
+impl<T: Send, R: Reclaim> fmt::Debug for HarrisList<T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("HarrisList").finish_non_exhaustive()
+        f.debug_struct("HarrisList").field("reclaim", &R::name()).finish_non_exhaustive()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reclaim::Vbr;
     use rsched_sync::atomic::{AtomicUsize, Ordering};
     use std::collections::HashSet;
     use std::sync::{Arc, Mutex};
 
-    #[test]
-    fn sequential_sorted_pops() {
-        let list = HarrisList::new();
+    fn sequential_sorted_pops_impl<R: Reclaim>() {
+        let list: HarrisList<u64, R> = HarrisList::new_in();
         for (i, p) in [5u64, 2, 9, 1, 7].into_iter().enumerate() {
             list.insert(p, i as u64, p);
         }
@@ -292,12 +355,23 @@ mod tests {
     }
 
     #[test]
-    fn bulk_load_matches_inserts() {
-        let list = HarrisList::from_sorted((0..100u64).map(|p| (p, 0, p)));
+    fn sequential_sorted_pops() {
+        sequential_sorted_pops_impl::<Ebr>();
+        sequential_sorted_pops_impl::<Vbr>();
+    }
+
+    fn bulk_load_matches_inserts_impl<R: Reclaim>() {
+        let list: HarrisList<u64, R> = HarrisList::from_sorted_in((0..100u64).map(|p| (p, 0, p)));
         assert_eq!(list.peek_min(), Some(0));
         let order: Vec<u64> = std::iter::from_fn(|| list.pop_min().map(|(p, _)| p)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
         assert!(list.is_empty());
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        bulk_load_matches_inserts_impl::<Ebr>();
+        bulk_load_matches_inserts_impl::<Vbr>();
     }
 
     #[test]
@@ -309,10 +383,9 @@ mod tests {
         assert_eq!(list.pop_min().unwrap().1, "second");
     }
 
-    #[test]
-    fn concurrent_pops_are_exclusive() {
+    fn concurrent_pops_are_exclusive_impl<R: Reclaim>() {
         let n = 10_000u64;
-        let list = HarrisList::from_sorted((0..n).map(|p| (p, 0, p)));
+        let list: HarrisList<u64, R> = HarrisList::from_sorted_in((0..n).map(|p| (p, 0, p)));
         let seen = Mutex::new(HashSet::new());
         std::thread::scope(|s| {
             for _ in 0..4 {
@@ -334,8 +407,13 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_insert_and_pop() {
-        let list = HarrisList::new();
+    fn concurrent_pops_are_exclusive() {
+        concurrent_pops_are_exclusive_impl::<Ebr>();
+        concurrent_pops_are_exclusive_impl::<Vbr>();
+    }
+
+    fn concurrent_insert_and_pop_impl<R: Reclaim>() {
+        let list: HarrisList<(), R> = HarrisList::new_in();
         let drained = Mutex::new(Vec::new());
         std::thread::scope(|s| {
             for t in 0..2u64 {
@@ -370,7 +448,12 @@ mod tests {
     }
 
     #[test]
-    fn payloads_dropped_exactly_once() {
+    fn concurrent_insert_and_pop() {
+        concurrent_insert_and_pop_impl::<Ebr>();
+        concurrent_insert_and_pop_impl::<Vbr>();
+    }
+
+    fn payloads_dropped_exactly_once_impl<R: Reclaim>() {
         struct Count(#[allow(dead_code)] u64, Arc<AtomicUsize>);
         impl Drop for Count {
             fn drop(&mut self) {
@@ -378,7 +461,7 @@ mod tests {
             }
         }
         let drops = Arc::new(AtomicUsize::new(0));
-        let list = HarrisList::new();
+        let list: HarrisList<Count, R> = HarrisList::new_in();
         for p in 0..50u64 {
             list.insert(p, 0, Count(p, Arc::clone(&drops)));
         }
@@ -393,10 +476,36 @@ mod tests {
     }
 
     #[test]
+    fn payloads_dropped_exactly_once() {
+        payloads_dropped_exactly_once_impl::<Ebr>();
+        payloads_dropped_exactly_once_impl::<Vbr>();
+    }
+
+    #[test]
     fn empty_list_behaviour() {
         let list: HarrisList<u8> = HarrisList::new();
         assert!(list.is_empty());
         assert_eq!(list.pop_min(), None);
         assert_eq!(list.peek_min(), None);
+        let vbr: HarrisList<u8, Vbr> = HarrisList::new_in();
+        assert!(vbr.is_empty());
+        assert_eq!(vbr.pop_min(), None);
+        assert_eq!(vbr.peek_min(), None);
+    }
+
+    #[test]
+    fn vbr_reuses_slots_across_pop_insert_cycles() {
+        // Churn far beyond the initial population: without the free list
+        // the arena would need a slot per insert ever made.
+        let list: HarrisList<u64, Vbr> = HarrisList::new_in();
+        for round in 0..200u64 {
+            for i in 0..16u64 {
+                list.insert(i, round * 16 + i, i);
+            }
+            for _ in 0..16 {
+                assert!(list.pop_min().is_some());
+            }
+        }
+        assert!(list.is_empty());
     }
 }

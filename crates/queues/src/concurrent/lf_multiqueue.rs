@@ -3,12 +3,14 @@
 //! "We implemented a simple version of our scheduling framework, using a
 //! variant of the MultiQueue \[21\] … We use lock-free lists to maintain the
 //! individual priority queues." — this module is exactly that: a MultiQueue
-//! whose per-queue structure is a [`HarrisList`].
+//! whose per-queue structure is a [`HarrisList`], generic over the
+//! [`Reclaim`] backend (epoch pins by default; version validation under
+//! [`Vbr`](crate::reclaim::Vbr), which removes the per-pop pin fence).
 
 use crate::concurrent::HarrisList;
+use crate::reclaim::{Ebr, Reclaim};
 use crate::rng;
 use crate::{ConcurrentScheduler, BATCH_SCATTER_RUN};
-use crossbeam::epoch;
 use crossbeam::utils::CachePadded;
 use rsched_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::fmt;
@@ -20,6 +22,11 @@ use std::fmt;
 /// tasks are bulk-loaded up front ([`LockFreeMultiQueue::prefilled`]) and
 /// only the `poly(k)` failed deletes re-insert.
 ///
+/// The second type parameter selects the reclamation backend (default
+/// [`Ebr`]); `*_in` constructors build a queue over another backend, e.g.
+/// `LockFreeMultiQueue::<u64, Vbr>::prefilled_in(..)` for the pin-free
+/// read path.
+///
 /// # Examples
 ///
 /// ```
@@ -29,36 +36,60 @@ use std::fmt;
 /// let (p, _) = q.pop().unwrap();
 /// assert!(p < 10);
 /// ```
-pub struct LockFreeMultiQueue<T> {
-    lists: Box<[CachePadded<HarrisList<T>>]>,
+pub struct LockFreeMultiQueue<T: Send, R: Reclaim = Ebr> {
+    lists: Box<[CachePadded<HarrisList<T, R>>]>,
     len: CachePadded<AtomicUsize>,
     seq: CachePadded<AtomicU64>,
 }
 
-impl<T: Send> LockFreeMultiQueue<T> {
+impl<T: Send> LockFreeMultiQueue<T, Ebr> {
     /// Creates an empty queue with `num_queues` internal lists.
     ///
     /// # Panics
     ///
     /// Panics if `num_queues == 0`.
     pub fn new(num_queues: usize) -> Self {
-        assert!(num_queues >= 1, "need at least one internal queue");
-        LockFreeMultiQueue {
-            lists: (0..num_queues).map(|_| CachePadded::new(HarrisList::new())).collect(),
-            len: CachePadded::new(AtomicUsize::new(0)),
-            seq: CachePadded::new(AtomicU64::new(0)),
-        }
+        Self::new_in(num_queues)
     }
 
     /// Creates a queue sized as in the paper: four lists per thread.
     pub fn for_threads(threads: usize) -> Self {
-        Self::new(4 * threads.max(1))
+        Self::for_threads_in(threads)
     }
 
     /// Bulk-loads `entries`, scattering them randomly across the internal
     /// lists with no CAS traffic. This is how the framework loads its
     /// initial task set.
     pub fn prefilled<I>(num_queues: usize, entries: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, T)>,
+    {
+        Self::prefilled_in(num_queues, entries)
+    }
+}
+
+impl<T: Send, R: Reclaim> LockFreeMultiQueue<T, R> {
+    /// [`LockFreeMultiQueue::new`] for an explicit backend `R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_queues == 0`.
+    pub fn new_in(num_queues: usize) -> Self {
+        assert!(num_queues >= 1, "need at least one internal queue");
+        LockFreeMultiQueue {
+            lists: (0..num_queues).map(|_| CachePadded::new(HarrisList::new_in())).collect(),
+            len: CachePadded::new(AtomicUsize::new(0)),
+            seq: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// [`LockFreeMultiQueue::for_threads`] for an explicit backend `R`.
+    pub fn for_threads_in(threads: usize) -> Self {
+        Self::new_in(4 * threads.max(1))
+    }
+
+    /// [`LockFreeMultiQueue::prefilled`] for an explicit backend `R`.
+    pub fn prefilled_in<I>(num_queues: usize, entries: I) -> Self
     where
         I: IntoIterator<Item = (u64, T)>,
     {
@@ -70,12 +101,12 @@ impl<T: Send> LockFreeMultiQueue<T> {
             seq += 1;
         }
         let mut total = 0usize;
-        let lists: Box<[CachePadded<HarrisList<T>>]> = buckets
+        let lists: Box<[CachePadded<HarrisList<T, R>>]> = buckets
             .into_iter()
             .map(|mut b| {
                 b.sort_unstable_by_key(|&(p, s, _)| (p, s));
                 total += b.len();
-                CachePadded::new(HarrisList::from_sorted(b))
+                CachePadded::new(HarrisList::from_sorted_in(b))
             })
             .collect();
         LockFreeMultiQueue {
@@ -101,7 +132,7 @@ impl<T: Send> LockFreeMultiQueue<T> {
     }
 }
 
-impl<T: Send> ConcurrentScheduler<T> for LockFreeMultiQueue<T> {
+impl<T: Send, R: Reclaim> ConcurrentScheduler<T> for LockFreeMultiQueue<T, R> {
     fn insert(&self, priority: u64, item: T) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let i = rng::next_index(self.lists.len());
@@ -116,19 +147,20 @@ impl<T: Send> ConcurrentScheduler<T> for LockFreeMultiQueue<T> {
         if entries.is_empty() {
             return;
         }
-        // One epoch pin and one sequence-number claim for the whole batch;
-        // each run of up to BATCH_SCATTER_RUN entries goes to one random
-        // list (the sorted walk restarts per entry, but runs are short and
-        // the framework's runtime batches are the poly(k) failed deletes).
-        // Repinning between runs lets the global epoch advance past this
-        // thread mid-batch, so an arbitrarily large insert_batch never
-        // stalls other threads' reclamation.
-        let mut guard = epoch::pin();
+        // One guard (epoch pin under EBR; free under VBR) and one
+        // sequence-number claim for the whole batch; each run of up to
+        // BATCH_SCATTER_RUN entries goes to one random list (the sorted
+        // walk restarts per entry, but runs are short and the framework's
+        // runtime batches are the poly(k) failed deletes). Repinning
+        // between runs lets the global epoch advance past this thread
+        // mid-batch, so an arbitrarily large insert_batch never stalls
+        // other threads' reclamation.
+        let mut guard = self.lists[0].guard();
         let mut seq = self.seq.fetch_add(entries.len() as u64, Ordering::Relaxed);
         let q = self.lists.len();
         for (chunk, run) in entries.chunks(BATCH_SCATTER_RUN).enumerate() {
             if chunk > 0 {
-                guard.repin();
+                self.lists[0].repin_guard(&mut guard);
             }
             let i = rng::next_index(q);
             for (priority, item) in run {
@@ -143,9 +175,9 @@ impl<T: Send> ConcurrentScheduler<T> for LockFreeMultiQueue<T> {
         if max == 0 || self.len.load(Ordering::Acquire) == 0 {
             return 0;
         }
-        // One epoch pin for the whole batch; two-choice selection as in
-        // `pop`, then the winning list is drained head-first.
-        let guard = &epoch::pin();
+        // One guard for the whole batch; two-choice selection as in `pop`,
+        // then the winning list is drained head-first.
+        let guard = &self.lists[0].guard();
         let q = self.lists.len();
         for _ in 0..16 {
             let i = rng::next_index(q);
@@ -240,11 +272,12 @@ impl<T: Send> ConcurrentScheduler<T> for LockFreeMultiQueue<T> {
     }
 }
 
-impl<T> fmt::Debug for LockFreeMultiQueue<T> {
+impl<T: Send, R: Reclaim> fmt::Debug for LockFreeMultiQueue<T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LockFreeMultiQueue")
             .field("num_queues", &self.lists.len())
             .field("len", &self.len.load(Ordering::Relaxed))
+            .field("reclaim", &R::name())
             .finish()
     }
 }
@@ -252,12 +285,23 @@ impl<T> fmt::Debug for LockFreeMultiQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reclaim::Vbr;
     use std::collections::HashSet;
     use std::sync::Mutex;
 
     #[test]
     fn prefilled_pops_everything() {
         let q = LockFreeMultiQueue::prefilled(4, (0..1000u64).map(|p| (p, p)));
+        assert_eq!(q.len(), 1000);
+        let mut out: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(p, _)| p)).collect();
+        out.sort_unstable();
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn prefilled_pops_everything_vbr() {
+        let q = LockFreeMultiQueue::<u64, Vbr>::prefilled_in(4, (0..1000u64).map(|p| (p, p)));
         assert_eq!(q.len(), 1000);
         let mut out: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(p, _)| p)).collect();
         out.sort_unstable();
@@ -284,9 +328,8 @@ mod tests {
         assert!(p < 100, "first pop {p} absurd for 2 queues");
     }
 
-    #[test]
-    fn concurrent_mixed_workload_conserves_elements() {
-        let q = LockFreeMultiQueue::prefilled(4, (0..4_000u64).map(|p| (p, p)));
+    fn concurrent_mixed_workload_impl<R: Reclaim>() {
+        let q = LockFreeMultiQueue::<u64, R>::prefilled_in(4, (0..4_000u64).map(|p| (p, p)));
         let popped = Mutex::new(Vec::new());
         std::thread::scope(|s| {
             for t in 0..4u64 {
@@ -317,8 +360,33 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_mixed_workload_conserves_elements() {
+        concurrent_mixed_workload_impl::<Ebr>();
+        concurrent_mixed_workload_impl::<Vbr>();
+    }
+
+    #[test]
+    fn batched_ops_work_on_both_backends() {
+        fn run<R: Reclaim>() {
+            let q = LockFreeMultiQueue::<u64, R>::new_in(4);
+            let entries: Vec<(u64, u64)> = (0..500u64).map(|p| (p, p)).collect();
+            q.insert_batch(&entries);
+            assert_eq!(q.len(), 500);
+            let mut out = Vec::new();
+            while q.pop_batch(&mut out, 64) > 0 {}
+            let mut got: Vec<u64> = out.into_iter().map(|(_, v)| v).collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..500).collect::<Vec<_>>());
+        }
+        run::<Ebr>();
+        run::<Vbr>();
+    }
+
+    #[test]
     fn for_threads_sizing() {
         let q: LockFreeMultiQueue<()> = LockFreeMultiQueue::for_threads(2);
         assert_eq!(q.num_queues(), 8);
+        let v: LockFreeMultiQueue<(), Vbr> = LockFreeMultiQueue::for_threads_in(2);
+        assert_eq!(v.num_queues(), 8);
     }
 }

@@ -5,7 +5,8 @@
 //!   deletion.
 //! * [`LockFreeMultiQueue`] — the paper's own variant ("we use lock-free
 //!   lists to maintain the individual priority queues"), built on
-//!   [`HarrisList`] with epoch reclamation.
+//!   [`HarrisList`] with pluggable reclamation (epoch-based by default,
+//!   version-based via [`crate::reclaim::Vbr`]).
 //! * [`SprayList`] — the lock-free skiplist with spray deletion of Alistarh
 //!   et al. \[3\], the second realistic scheduler satisfying Definition 1.
 //! * [`BulkMultiQueue`] — a MultiQueue whose internal queues are sorted

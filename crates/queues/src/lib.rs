@@ -44,6 +44,7 @@ pub mod hash;
 mod indexed_set;
 pub mod instrument;
 pub mod lock;
+pub mod reclaim;
 pub mod relaxed;
 pub(crate) mod rng;
 pub mod sharded;

@@ -1,0 +1,189 @@
+//! Reclamation-backend bake-off correctness suite: the exactly-once
+//! drop-cell stress of `epoch_stress.rs`, generic over [`Reclaim`] and run
+//! against **both** backends, plus a proptest over random mixed op
+//! sequences diffed against a `BTreeMap` oracle.
+//!
+//! A per-payload drop cell proves every payload is dropped **exactly
+//! once** — a double-free (e.g. a stale VBR read validating) increments a
+//! cell twice, a leak (a lost slot) leaves one at zero. CI runs the VBR
+//! stress in release mode as well, where the tighter instruction stream
+//! makes version-recheck races most likely.
+
+use proptest::prelude::*;
+use rsched_queues::concurrent::{HarrisList, LockFreeMultiQueue};
+use rsched_queues::reclaim::{Ebr, Reclaim, Vbr};
+use rsched_queues::ConcurrentScheduler;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 3_000;
+const PREFILL: usize = 1_000;
+
+/// A payload that records its drop in a caller-owned cell.
+struct Probe<'a> {
+    cell: &'a AtomicUsize,
+}
+
+impl Drop for Probe<'_> {
+    fn drop(&mut self) {
+        self.cell.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// 8 threads hammer one list with an insert/pop loop, then the survivors
+/// are drained; every drop cell must read exactly 1 afterwards.
+fn stress_exactly_once<R: Reclaim>() {
+    let total = PREFILL + THREADS * OPS_PER_THREAD;
+    let cells: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+    let mut prefill: Vec<(u64, u64, Probe<'_>)> =
+        (0..PREFILL).map(|i| (i as u64 % 97, i as u64, Probe { cell: &cells[i] })).collect();
+    prefill.sort_by_key(|&(p, s, _)| (p, s));
+    let list: HarrisList<Probe<'_>, R> = HarrisList::from_sorted_in(prefill);
+    let popped = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let list = &list;
+            let cells = &cells;
+            let popped = &popped;
+            s.spawn(move || {
+                let mut local_pops = 0usize;
+                for i in 0..OPS_PER_THREAD {
+                    let idx = PREFILL + t * OPS_PER_THREAD + i;
+                    // Colliding priorities force CAS contention at the head;
+                    // the sequence number keeps keys unique.
+                    let priority = (idx as u64) % 97;
+                    let seq = idx as u64;
+                    list.insert(priority, seq, Probe { cell: &cells[idx] });
+                    // Pop as often as we insert so the list stays short and
+                    // the backend keeps recycling storage under contention.
+                    if let Some((_, probe)) = list.pop_min() {
+                        local_pops += 1;
+                        drop(probe);
+                    }
+                    // Periodically force a collection so reclamation runs
+                    // *during* the contention (a no-op under VBR, whose
+                    // slots recycle immediately).
+                    if i % 512 == 511 {
+                        list.flush_guard(&list.guard());
+                    }
+                }
+                popped.fetch_add(local_pops, Ordering::SeqCst);
+            });
+        }
+    });
+
+    // Full drain after join: everything not popped concurrently comes out
+    // now, exactly once.
+    let mut drained = 0usize;
+    while let Some((_, probe)) = list.pop_min() {
+        drained += 1;
+        drop(probe);
+    }
+    assert!(list.is_empty(), "list must be fully drained");
+    assert_eq!(
+        popped.load(Ordering::SeqCst) + drained,
+        total,
+        "every inserted payload popped exactly once"
+    );
+    drop(list);
+
+    // Exactly-once destruction: a double-free would double-increment a
+    // cell, a leak (or lost payload) would leave one at zero.
+    for (i, cell) in cells.iter().enumerate() {
+        assert_eq!(cell.load(Ordering::SeqCst), 1, "payload {i} dropped wrong number of times");
+    }
+}
+
+#[test]
+fn ebr_eight_thread_stress_drops_exactly_once() {
+    stress_exactly_once::<Ebr>();
+}
+
+#[test]
+fn vbr_eight_thread_stress_drops_exactly_once() {
+    stress_exactly_once::<Vbr>();
+}
+
+/// Multiqueue-level variant: the two-choice pop path (peek + pop under one
+/// guard) against both backends, conserving elements under contention.
+fn multiqueue_conserves<R: Reclaim>() {
+    let n = 4_000u64;
+    let q = LockFreeMultiQueue::<u64, R>::prefilled_in(8, (0..n).map(|p| (p, p)));
+    let total_popped = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let q = &q;
+            let total_popped = &total_popped;
+            s.spawn(move || {
+                let mut out = Vec::new();
+                loop {
+                    let got = q.pop_batch(&mut out, 32);
+                    if got == 0 && q.is_empty() {
+                        break;
+                    }
+                }
+                total_popped.fetch_add(out.len(), Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(total_popped.load(Ordering::SeqCst), n as usize);
+}
+
+#[test]
+fn ebr_multiqueue_batch_drain_conserves() {
+    multiqueue_conserves::<Ebr>();
+}
+
+#[test]
+fn vbr_multiqueue_batch_drain_conserves() {
+    multiqueue_conserves::<Vbr>();
+}
+
+/// One random op against the oracle: true = insert next key, false = pop.
+fn apply_ops<R: Reclaim>(ops: &[bool]) {
+    let cells: Vec<AtomicUsize> = (0..ops.len()).map(|_| AtomicUsize::new(0)).collect();
+    let list: HarrisList<Probe<'_>, R> = HarrisList::new_in();
+    let mut oracle: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+    let mut seq = 0u64;
+    let mut live = 0usize;
+    for (i, &is_insert) in ops.iter().enumerate() {
+        if is_insert {
+            let priority = (i as u64 * 7) % 13;
+            list.insert(priority, seq, Probe { cell: &cells[i] });
+            oracle.insert((priority, seq), i);
+            seq += 1;
+            live += 1;
+        } else {
+            let got = list.pop_min().map(|(p, probe)| {
+                drop(probe);
+                p
+            });
+            let expect = oracle.pop_first().map(|((p, _), _)| p);
+            assert_eq!(got, expect, "single-threaded pop must be exact-min");
+            live -= usize::from(expect.is_some());
+        }
+    }
+    assert_eq!(oracle.len(), live);
+    drop(list);
+    // Every inserted payload dropped exactly once, popped or swept.
+    for (i, &is_insert) in ops.iter().enumerate() {
+        let want = usize::from(is_insert);
+        assert_eq!(cells[i].load(Ordering::SeqCst), want, "payload {i} drop count");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-threaded, the list is an exact priority queue whatever the
+    /// backend; payload drops match the op sequence exactly.
+    #[test]
+    fn random_op_sequences_match_oracle_on_both_backends(
+        ops in proptest::collection::vec(any::<bool>(), 1..200)
+    ) {
+        apply_ops::<Ebr>(&ops);
+        apply_ops::<Vbr>(&ops);
+    }
+}

@@ -5,8 +5,9 @@
 //!
 //! Statistical machinery (outlier rejection, HTML reports, regression
 //! detection) is **not** reproduced. Each benchmark runs a short warm-up
-//! followed by `sample_size` timed samples and prints min/median/mean
-//! wall-clock per iteration — enough to compare schedulers on one machine
+//! followed by `sample_size` timed samples and prints min/median/mean and
+//! a 10%-trimmed mean wall-clock per iteration — enough to compare
+//! schedulers on one machine
 //! and to keep `cargo bench` compiling and running offline. Honour
 //! `RSCHED_BENCH_FAST=1` to collapse every benchmark to a single sample
 //! (used by smoke tests).
@@ -138,6 +139,10 @@ pub mod results {
         pub median_ns: f64,
         /// Mean over all timed samples.
         pub mean_ns: f64,
+        /// Mean with the fastest and slowest ~10% of samples dropped —
+        /// robust to the rare scheduling stall the plain mean is not
+        /// (equals `mean_ns` when too few samples to trim).
+        pub trimmed_mean_ns: f64,
     }
 
     static RESULTS: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
@@ -157,12 +162,31 @@ fn fast_mode() -> bool {
     std::env::var_os("RSCHED_BENCH_FAST").is_some_and(|v| v == "1")
 }
 
+/// Untimed warm-up runs before sampling (full mode). One was not enough:
+/// the first warm-up itself *creates* one-time work — growing allocator
+/// arenas, faulting in freshly mapped pages, spawning lazy worker state —
+/// that then landed in the first timed sample and dragged the mean far off
+/// the median (BENCH_8 `lock_ops/handoff_mcs/4`: mean 2.24ms against a
+/// 231µs median). A second warm-up absorbs those knock-on costs.
+const WARMUP_RUNS: usize = 2;
+
+/// Mean over `sorted` with the fastest and slowest ~10% (at least one
+/// sample each side, when there are enough to spare) dropped. The plain
+/// mean of a 20-sample run is at the mercy of a single descheduling stall;
+/// the trimmed mean is the honest "typical cost" companion to the median.
+fn trimmed_mean(sorted: &[Duration]) -> Duration {
+    let trim = if sorted.len() >= 5 { (sorted.len() / 10).max(1) } else { 0 };
+    let kept = &sorted[trim..sorted.len() - trim];
+    kept.iter().sum::<Duration>() / kept.len() as u32
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
-    let samples = if fast_mode() { 1 } else { sample_size };
+    let (samples, warmups) = if fast_mode() { (1, 1) } else { (sample_size, WARMUP_RUNS) };
     let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
-    // One untimed warm-up to populate caches and lazy statics.
-    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
-    f(&mut b);
+    for _ in 0..warmups {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+    }
     for _ in 0..samples {
         let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
         f(&mut b);
@@ -172,12 +196,16 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F)
     let min = per_iter[0];
     let median = per_iter[per_iter.len() / 2];
     let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
-    println!("{id:<50} min {min:>12.3?}  median {median:>12.3?}  mean {mean:>12.3?}");
+    let trimmed = trimmed_mean(&per_iter);
+    println!(
+        "{id:<50} min {min:>12.3?}  median {median:>12.3?}  mean {mean:>12.3?}  trimmed {trimmed:>12.3?}"
+    );
     results::record(results::Sample {
         id: id.to_string(),
         min_ns: min.as_secs_f64() * 1e9,
         median_ns: median.as_secs_f64() * 1e9,
         mean_ns: mean.as_secs_f64() * 1e9,
+        trimmed_mean_ns: trimmed.as_secs_f64() * 1e9,
     });
 }
 
@@ -218,8 +246,26 @@ mod tests {
             });
             group.finish();
         }
-        // warm-up + 3 samples
-        assert_eq!(calls, 4);
+        // warm-ups + 3 samples
+        assert_eq!(calls, WARMUP_RUNS as u32 + 3);
+    }
+
+    #[test]
+    fn trimmed_mean_sheds_outliers() {
+        let mut samples: Vec<Duration> = (0..19).map(|_| Duration::from_micros(100)).collect();
+        samples.push(Duration::from_millis(50)); // one descheduling stall
+        samples.sort_unstable();
+        let plain = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let trimmed = trimmed_mean(&samples);
+        assert!(plain > Duration::from_millis(2), "stall must dominate the plain mean");
+        assert_eq!(trimmed, Duration::from_micros(100), "trimmed mean must shed the stall");
+    }
+
+    #[test]
+    fn trimmed_mean_degenerates_to_mean_when_tiny() {
+        let samples =
+            vec![Duration::from_nanos(10), Duration::from_nanos(20), Duration::from_nanos(30)];
+        assert_eq!(trimmed_mean(&samples), Duration::from_nanos(20));
     }
 
     #[test]
