@@ -18,7 +18,14 @@
 //! 4-socket, 72-core Xeon), never for CI.
 //!
 //! Usage: `figure2 [--threads 1,2,4] [--reps R] [--seed S] [--batch-size B]
-//! [--shards S] [--json PATH] [--quick | --paper-scale]`
+//! [--shards S] [--json PATH] [--trace PATH] [--metrics [PATH]]
+//! [--quick | --paper-scale]`
+//!
+//! Built with `--features obs`, the relaxed runs feed the live
+//! `engine_pop_total` wasted-work counters (extra-iterations readable
+//! from a `--metrics` snapshot mid-run) and the final snapshot is
+//! asserted to agree exactly with the relaxed executor's end-of-run
+//! totals; the exact FAA executor never touches the engine counters.
 //!
 //! `--json PATH` merges machine-readable medians (per class: sequential
 //! baseline, relaxed/exact seconds and extra iterations per thread count)
@@ -41,6 +48,7 @@ use rsched_bench::report::{update_report, Json};
 use rsched_bench::{BenchCli, Table};
 use rsched_core::algorithms::mis::{greedy_mis, ConcurrentMis};
 use rsched_core::framework::{run_concurrent_batched, run_exact_concurrent};
+use rsched_core::stats::ConcurrentStats;
 use rsched_core::TaskId;
 use rsched_graph::{gen, CsrGraph, Permutation};
 use rsched_queues::concurrent::BulkMultiQueue;
@@ -74,7 +82,11 @@ fn time_sequential(g: &CsrGraph, pi: &Permutation, reps: usize) -> Duration {
 
 /// Times `reps` relaxed runs on a fresh scheduler from `make_sched`,
 /// asserting each run's output against the sequential MIS. Returns the
-/// median wall time and the last run's extra iterations.
+/// median wall time and the last run's extra iterations; every rep's pop
+/// outcomes are absorbed into `ledger` for the end-of-run reconciliation
+/// against the observability counters (only the relaxed executor runs on
+/// the worker engine — the exact FAA executor has its own loop).
+#[allow(clippy::too_many_arguments)]
 fn time_relaxed<S, F>(
     make_sched: F,
     g: &CsrGraph,
@@ -83,6 +95,7 @@ fn time_relaxed<S, F>(
     threads: usize,
     reps: usize,
     batch_size: usize,
+    ledger: &mut ConcurrentStats,
 ) -> (Duration, u64)
 where
     S: ConcurrentScheduler<TaskId>,
@@ -95,6 +108,10 @@ where
         let sched = make_sched();
         let stats = run_concurrent_batched(&alg, pi, &sched, threads, batch_size);
         assert_eq!(alg.into_output(), expected, "relaxed output diverged");
+        ledger.processed += stats.processed;
+        ledger.wasted += stats.wasted;
+        ledger.obsolete += stats.obsolete;
+        ledger.empty_pops += stats.empty_pops;
         times.push(stats.elapsed);
         extra = stats.extra_iterations();
     }
@@ -102,22 +119,26 @@ where
 }
 
 fn main() {
+    let mut options = vec![
+        ("--batch-size B", "tasks popped per scheduler round-trip (default 1)"),
+        ("--paper-scale", "the paper's original instance sizes (needs a big-memory host)"),
+        ("--reps N", "repetitions per configuration"),
+        ("--seed S", "base RNG seed"),
+        ("--shards S", "hash-routed scheduler shards with worker affinity (default 1)"),
+        ("--threads LIST", "comma-separated thread counts"),
+        ("--json PATH", "merge machine-readable medians into the report at PATH"),
+    ];
+    options.extend_from_slice(&rsched_bench::obs::OPTIONS);
     let Some(cli) = BenchCli::parse(
         "figure2",
         "Regenerates Figure 2: concurrent MIS wall-clock time vs thread count.",
-        &[
-            ("--batch-size B", "tasks popped per scheduler round-trip (default 1)"),
-            ("--paper-scale", "the paper's original instance sizes (needs a big-memory host)"),
-            ("--reps N", "repetitions per configuration"),
-            ("--seed S", "base RNG seed"),
-            ("--shards S", "hash-routed scheduler shards with worker affinity (default 1)"),
-            ("--threads LIST", "comma-separated thread counts"),
-            ("--json PATH", "merge machine-readable medians into the report at PATH"),
-        ],
+        &options,
     ) else {
         return;
     };
     let args = cli.args;
+    let obs_base = rsched_obs::snapshot();
+    let mut relaxed_ledger = ConcurrentStats::default();
     let paper_scale = args.has_flag("paper-scale");
     // The explicit flags are mutually exclusive; an ambient
     // RSCHED_BENCH_FAST only wins when --paper-scale was not requested.
@@ -236,6 +257,7 @@ fn main() {
                     threads,
                     reps,
                     batch_size,
+                    &mut relaxed_ledger,
                 )
             } else {
                 time_relaxed(
@@ -250,6 +272,7 @@ fn main() {
                     threads,
                     reps,
                     batch_size,
+                    &mut relaxed_ledger,
                 )
             };
             // Exact FAA queue with backoff.
@@ -285,9 +308,30 @@ fn main() {
     println!("Shape checks (paper): relaxed ≥ exact throughout; relaxed 1-thread ≈ sequential;");
     println!("exact catches up when per-task edge work dominates (small-dense class).");
 
+    if rsched_obs::ENABLED {
+        // Only relaxed runs go through the worker engine, so the engine
+        // counter deltas must land exactly on the relaxed executor's
+        // accumulated totals — the exact FAA executor never touches them.
+        let snap = rsched_obs::snapshot();
+        let d = |name: &str| snap.counter_delta(&obs_base, name);
+        assert_eq!(d(r#"engine_pop_total{outcome="success"}"#), relaxed_ledger.processed);
+        assert_eq!(d(r#"engine_pop_total{outcome="blocked"}"#), relaxed_ledger.wasted);
+        assert_eq!(d(r#"engine_pop_total{outcome="obsolete"}"#), relaxed_ledger.obsolete);
+        assert_eq!(d(r#"engine_pop_total{outcome="empty"}"#), relaxed_ledger.empty_pops);
+        println!(
+            "\nobs: engine_pop_total counters reconcile with relaxed-run totals \
+             ({} processed, {} wasted, {} obsolete)",
+            relaxed_ledger.processed, relaxed_ledger.wasted, relaxed_ledger.obsolete
+        );
+    }
+
     if let Some(path) = args.get_str("json") {
+        if let Some(metrics) = rsched_bench::obs::metrics_json(&obs_base) {
+            json_fields.push(("metrics".to_string(), metrics));
+        }
         let path = std::path::Path::new(path);
         update_report(path, "figure2", &Json::Obj(json_fields));
         println!("json medians merged into {}", path.display());
     }
+    rsched_bench::obs::emit(&args);
 }

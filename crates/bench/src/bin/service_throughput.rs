@@ -21,10 +21,18 @@
 //! (`ServiceStats::exactly_once`) — a dropped or duplicated task fails
 //! the bench, not just skews it.
 //!
+//! Latency percentiles are read from a log-bucketed histogram
+//! ([`rsched_obs::hist::LogHistogram`], < 1/16 relative error) rather
+//! than a sorted sample vector, so the offline report and the live
+//! `--metrics` snapshot use the same machinery. When built with
+//! `--features obs`, the run additionally cross-checks the observability
+//! layer's `engine_pop_total` counters against the exactly-once ledger.
+//!
 //! Usage: `service_throughput [--workload all|connectivity|sssp] [--n N]
 //! [--m M] [--producers P] [--workers W] [--queues Q] [--queue-capacity C]
 //! [--flush-batch F] [--watermark H] [--batch-size B] [--shards S]
-//! [--reps R] [--seed S] [--reclaim ebr|vbr] [--json PATH] [--quick]`
+//! [--reps R] [--seed S] [--reclaim ebr|vbr] [--json PATH]
+//! [--trace PATH] [--metrics [PATH]] [--quick]`
 //!
 //! `--reclaim vbr` swaps the shard queues' memory reclamation from the
 //! default epoch scheme to version-based reclamation (no pin on the pop
@@ -37,7 +45,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rsched_bench::report::{update_report, Json};
-use rsched_bench::{percentiles, BenchCli, Table};
+use rsched_bench::{BenchCli, Table};
 use rsched_core::algorithms::incremental::connectivity::{components, ConcurrentConnectivity};
 use rsched_core::algorithms::sssp::dijkstra;
 use rsched_core::framework::TaskOutcome;
@@ -47,6 +55,7 @@ use rsched_core::service::{
 };
 use rsched_core::TaskId;
 use rsched_graph::{gen, WeightedCsr};
+use rsched_obs::hist::LogHistogram;
 use rsched_queues::concurrent::LockFreeMultiQueue;
 use rsched_queues::reclaim::{Backend, Ebr, Reclaim, Vbr};
 use rsched_queues::sharded::ShardedScheduler;
@@ -91,13 +100,39 @@ fn median_f64(mut xs: Vec<f64>) -> f64 {
     xs[xs.len() / 2]
 }
 
+/// Running pop-outcome totals across every rep of the process, matched
+/// against the observability layer's `engine_pop_total` counters (which
+/// are global and monotone, so they aggregate the same way) at exit.
+#[derive(Default)]
+struct LedgerTotals {
+    processed: u64,
+    wasted: u64,
+    obsolete: u64,
+    empty: u64,
+}
+
+impl LedgerTotals {
+    fn absorb(&mut self, stats: &rsched_core::service::ServiceStats) {
+        self.processed += stats.processed;
+        self.wasted += stats.wasted;
+        self.obsolete += stats.obsolete;
+        self.empty += stats.empty_pops;
+    }
+}
+
 /// One connectivity rep: live-stream `edges.len()` edge ids through the
 /// service, returning `(ops/sec, (p50, p95, p99) latency in µs)`.
+///
+/// Latency percentiles come from a log-bucketed [`LogHistogram`] (shared
+/// with the observability layer's `service_request_latency_ns`), not a
+/// sorted sample vector — identical machinery online and offline, with
+/// bounded relative error instead of an O(m log m) sort per rep.
 fn connectivity_rep<R: Reclaim>(
     n: usize,
     edges: &[(u32, u32)],
     expected: &[u32],
     knobs: &Knobs,
+    totals: &mut LedgerTotals,
 ) -> (f64, (f64, f64, f64)) {
     let m = edges.len() as u32;
     let alg = ConcurrentConnectivity::new(n, edges);
@@ -123,20 +158,28 @@ fn connectivity_rep<R: Reclaim>(
     assert!(stats.exactly_once(), "ledger out of balance: {stats:?}");
     assert_eq!(stats.accepted, u64::from(m));
     assert_eq!(alg.into_labels(), expected, "streamed connectivity diverged");
-    let lat_us: Vec<f64> = (0..m as usize)
-        .map(|e| {
-            let d = done_ns[e].load(Ordering::Relaxed);
-            let p = push_ns[e].load(Ordering::Relaxed);
-            assert!(d >= p, "task decided before it was offered");
-            (d - p) as f64 / 1_000.0
-        })
-        .collect();
-    (stats.accepted as f64 / stats.elapsed.as_secs_f64(), percentiles(&lat_us))
+    totals.absorb(&stats);
+    let lat = LogHistogram::new();
+    for e in 0..m as usize {
+        let d = done_ns[e].load(Ordering::Relaxed);
+        let p = push_ns[e].load(Ordering::Relaxed);
+        assert!(d >= p, "task decided before it was offered");
+        lat.record(d - p);
+        rsched_obs::hist!("service_request_latency_ns").record(d - p);
+    }
+    let (p50, p95, p99) = lat.percentiles();
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    (stats.accepted as f64 / stats.elapsed.as_secs_f64(), (us(p50), us(p95), us(p99)))
 }
 
 /// One SSSP rep: a single seeded flood; returns `(flood seconds,
 /// relaxations/sec)` where a "relaxation" is one accepted wavefront task.
-fn sssp_rep<R: Reclaim>(g: &WeightedCsr, expected: &[u64], knobs: &Knobs) -> (f64, f64) {
+fn sssp_rep<R: Reclaim>(
+    g: &WeightedCsr,
+    expected: &[u64],
+    knobs: &Knobs,
+    totals: &mut LedgerTotals,
+) -> (f64, f64) {
     let handler = SsspHandler::new(g);
     let q = sched::<R>(knobs.shards);
     let (seed_priority, seed_task) = handler.request(0, 0);
@@ -150,6 +193,7 @@ fn sssp_rep<R: Reclaim>(g: &WeightedCsr, expected: &[u64], knobs: &Knobs) -> (f6
     let stats = run_service(&handler, &q, &knobs.config, producers);
     assert!(stats.exactly_once(), "ledger out of balance: {stats:?}");
     assert_eq!(handler.into_dist(), expected, "streamed SSSP diverged from Dijkstra");
+    totals.absorb(&stats);
     (stats.elapsed.as_secs_f64(), stats.accepted as f64 / stats.elapsed.as_secs_f64())
 }
 
@@ -160,31 +204,35 @@ struct Medians {
 }
 
 fn main() {
+    let mut options = vec![
+        ("--workload W", "all | connectivity | sssp (default all)"),
+        ("--n N", "vertex count"),
+        ("--m M", "edge count"),
+        ("--producers P", "producer threads (default 4)"),
+        ("--workers W", "worker threads (default 4)"),
+        ("--queues Q", "ingestion queues (default 2)"),
+        ("--queue-capacity C", "entries buffered per queue (default 1024)"),
+        ("--flush-batch F", "largest pump flush batch (default 256)"),
+        ("--watermark H", "per-shard high watermark; 0 disables (default 0)"),
+        ("--pump-threads T", "pump driver threads (default 1)"),
+        ("--batch-size B", "worker pop batch size (default 8)"),
+        ("--shards S", "scheduler shards (default 3)"),
+        ("--reps R", "repetitions per workload"),
+        ("--seed S", "base RNG seed"),
+        ("--reclaim R", "scheduler memory reclamation: ebr | vbr (default ebr)"),
+        ("--json PATH", "merge machine-readable medians into the report at PATH"),
+    ];
+    options.extend_from_slice(&rsched_bench::obs::OPTIONS);
     let Some(cli) = BenchCli::parse(
         "service_throughput",
         "Streaming-service throughput: live producers over the sharded scheduler.",
-        &[
-            ("--workload W", "all | connectivity | sssp (default all)"),
-            ("--n N", "vertex count"),
-            ("--m M", "edge count"),
-            ("--producers P", "producer threads (default 4)"),
-            ("--workers W", "worker threads (default 4)"),
-            ("--queues Q", "ingestion queues (default 2)"),
-            ("--queue-capacity C", "entries buffered per queue (default 1024)"),
-            ("--flush-batch F", "largest pump flush batch (default 256)"),
-            ("--watermark H", "per-shard high watermark; 0 disables (default 0)"),
-            ("--pump-threads T", "pump driver threads (default 1)"),
-            ("--batch-size B", "worker pop batch size (default 8)"),
-            ("--shards S", "scheduler shards (default 3)"),
-            ("--reps R", "repetitions per workload"),
-            ("--seed S", "base RNG seed"),
-            ("--reclaim R", "scheduler memory reclamation: ebr | vbr (default ebr)"),
-            ("--json PATH", "merge machine-readable medians into the report at PATH"),
-        ],
+        &options,
     ) else {
         return;
     };
     let (args, quick) = (cli.args, cli.quick);
+    let obs_base = rsched_obs::snapshot();
+    let mut totals = LedgerTotals::default();
     let workload = args.get_str("workload").unwrap_or("all");
     assert!(
         matches!(workload, "all" | "connectivity" | "sssp"),
@@ -234,8 +282,8 @@ fn main() {
         let (mut p50s, mut p95s, mut p99s) = (Vec::new(), Vec::new(), Vec::new());
         for _ in 0..knobs.reps {
             let (o, (p50, p95, p99)) = match knobs.reclaim {
-                Backend::Ebr => connectivity_rep::<Ebr>(n, &edges, &expected, &knobs),
-                Backend::Vbr => connectivity_rep::<Vbr>(n, &edges, &expected, &knobs),
+                Backend::Ebr => connectivity_rep::<Ebr>(n, &edges, &expected, &knobs, &mut totals),
+                Backend::Vbr => connectivity_rep::<Vbr>(n, &edges, &expected, &knobs, &mut totals),
             };
             ops.push(o);
             p50s.push(p50);
@@ -267,8 +315,8 @@ fn main() {
         let mut relax = Vec::new();
         for _ in 0..knobs.reps {
             let (secs, rps) = match knobs.reclaim {
-                Backend::Ebr => sssp_rep::<Ebr>(&g, &expected, &knobs),
-                Backend::Vbr => sssp_rep::<Vbr>(&g, &expected, &knobs),
+                Backend::Ebr => sssp_rep::<Ebr>(&g, &expected, &knobs, &mut totals),
+                Backend::Vbr => sssp_rep::<Vbr>(&g, &expected, &knobs, &mut totals),
             };
             floods.push(secs);
             relax.push(rps);
@@ -283,6 +331,18 @@ fn main() {
         println!("{t}");
         println!("each flood seeded live, wavefront entirely handler-submitted\n");
         medians.sssp = Some(row);
+    }
+
+    if rsched_obs::ENABLED {
+        // The metrics layer keeps its own books; they must agree with the
+        // exactly-once ledger bit for bit, or one of the two is lying.
+        let snap = rsched_obs::snapshot();
+        let d = |name: &str| snap.counter_delta(&obs_base, name);
+        assert_eq!(d(r#"engine_pop_total{outcome="success"}"#), totals.processed);
+        assert_eq!(d(r#"engine_pop_total{outcome="blocked"}"#), totals.wasted);
+        assert_eq!(d(r#"engine_pop_total{outcome="obsolete"}"#), totals.obsolete);
+        assert_eq!(d(r#"engine_pop_total{outcome="empty"}"#), totals.empty);
+        println!("obs: engine_pop_total counters reconcile with the exactly-once ledger\n");
     }
 
     if let Some(path) = args.get_str("json") {
@@ -304,8 +364,12 @@ fn main() {
             fields.push(("sssp_flood_median_s".to_string(), Json::Num(secs)));
             fields.push(("sssp_relaxations_per_sec".to_string(), Json::Num(rps)));
         }
+        if let Some(metrics) = rsched_bench::obs::metrics_json(&obs_base) {
+            fields.push(("metrics".to_string(), metrics));
+        }
         let path = std::path::Path::new(path);
         update_report(path, "service_throughput", &Json::Obj(fields));
         println!("json medians merged into {}", path.display());
     }
+    rsched_bench::obs::emit(&args);
 }

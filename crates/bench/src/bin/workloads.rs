@@ -9,7 +9,15 @@
 //! `poly(k)` waste regardless of density (Theorem 2).
 //!
 //! Usage: `workloads [--n N] [--m M] [--reps R] [--ks 4,16,64] [--seed S]
-//! [--batch-size B] [--shards S] [--json PATH]`
+//! [--batch-size B] [--shards S] [--json PATH] [--trace PATH]
+//! [--metrics [PATH]]`
+//!
+//! Built with `--features obs`, the run feeds the live `seq_pop_total`
+//! wasted-work counters (so extra-iterations is readable from a metrics
+//! snapshot mid-run) and asserts at exit that the final snapshot agrees
+//! exactly with the framework's end-of-run totals. Compiled without the
+//! feature, every probe is a no-op and the output is byte-identical to
+//! the uninstrumented binary.
 //!
 //! `--json PATH` additionally merges the per-workload average-extra curves
 //! into the shared bench report (see `rsched_bench::report`; the committed
@@ -39,6 +47,7 @@ use rsched_core::algorithms::list_contraction::ContractionTasks;
 use rsched_core::algorithms::matching::{MatchingInstance, MatchingTasks};
 use rsched_core::algorithms::mis::MisTasks;
 use rsched_core::framework::run_relaxed_batched;
+use rsched_core::stats::ExecutionStats;
 use rsched_core::TaskId;
 use rsched_graph::{gen, ListInstance, Permutation};
 use rsched_queues::relaxed::SimMultiQueue;
@@ -59,23 +68,26 @@ fn sharded_sim(
 }
 
 fn main() {
+    let mut options = vec![
+        ("--n N", "vertex / element count"),
+        ("--m M", "edge count for the graph workloads"),
+        ("--reps N", "repetitions per configuration"),
+        ("--ks LIST", "comma-separated relaxation factors"),
+        ("--seed S", "base RNG seed"),
+        ("--batch-size B", "tasks popped per scheduler round-trip (default 1)"),
+        ("--shards S", "hash-routed scheduler shards, drained round-robin (default 1)"),
+        ("--json PATH", "merge machine-readable averages into the report at PATH"),
+    ];
+    options.extend_from_slice(&rsched_bench::obs::OPTIONS);
     let Some(cli) = BenchCli::parse(
         "workloads",
         "Runs all four §4 workloads (MIS, matching, coloring, contraction) across k.",
-        &[
-            ("--n N", "vertex / element count"),
-            ("--m M", "edge count for the graph workloads"),
-            ("--reps N", "repetitions per configuration"),
-            ("--ks LIST", "comma-separated relaxation factors"),
-            ("--seed S", "base RNG seed"),
-            ("--batch-size B", "tasks popped per scheduler round-trip (default 1)"),
-            ("--shards S", "hash-routed scheduler shards, drained round-robin (default 1)"),
-            ("--json PATH", "merge machine-readable averages into the report at PATH"),
-        ],
+        &options,
     ) else {
         return;
     };
     let (args, quick) = (cli.args, cli.quick);
+    let obs_base = rsched_obs::snapshot();
     let n = args.get_usize("n", if quick { 3_000 } else { 30_000 });
     let m = args.get_usize("m", if quick { 10_000 } else { 100_000 });
     let reps = args.get_usize("reps", if quick { 2 } else { 5 });
@@ -105,9 +117,22 @@ fn main() {
     let g = gen::gnm(n, m, &mut StdRng::seed_from_u64(seed));
     let inst = MatchingInstance::new(&g);
 
-    let run_avg = |mk: &dyn Fn(usize, u64) -> u64, k: usize| -> f64 {
-        let total: u64 = (0..reps).map(|r| mk(k, seed + r as u64 * 31)).sum();
-        total as f64 / reps as f64
+    // End-of-run pop-outcome totals across every rep of every workload;
+    // diffed against the observability layer's `seq_pop_total` counters at
+    // exit (they must agree exactly — the live snapshot a `--metrics` probe
+    // reads mid-run is the same ledger, just earlier).
+    let ledger = std::cell::RefCell::new(ExecutionStats::default());
+    let run_avg = |mk: &dyn Fn(usize, u64) -> ExecutionStats, k: usize| -> f64 {
+        let mut extra = 0u64;
+        for r in 0..reps {
+            let stats = mk(k, seed + r as u64 * 31);
+            let mut t = ledger.borrow_mut();
+            t.processed += stats.processed;
+            t.wasted += stats.wasted;
+            t.obsolete += stats.obsolete;
+            extra += stats.extra_iterations();
+        }
+        extra as f64 / reps as f64
     };
 
     // Per-workload average-extra curves (one value per k), kept alongside
@@ -117,10 +142,10 @@ fn main() {
     // MIS
     {
         let g = &g;
-        let f = move |k: usize, s: u64| -> u64 {
+        let f = move |k: usize, s: u64| -> ExecutionStats {
             let pi = Permutation::random(g.num_vertices(), &mut StdRng::seed_from_u64(s));
             let sched = sharded_sim(shards, k, s ^ 1);
-            run_relaxed_batched(MisTasks::new(g, &pi), &pi, sched, batch_size).1.extra_iterations()
+            run_relaxed_batched(MisTasks::new(g, &pi), &pi, sched, batch_size).1
         };
         let vals: Vec<f64> = ks.iter().map(|&k| run_avg(&f, k)).collect();
         let mut cells = vec!["MIS".to_string(), n.to_string()];
@@ -133,12 +158,10 @@ fn main() {
     // Matching
     {
         let inst = &inst;
-        let f = move |k: usize, s: u64| -> u64 {
+        let f = move |k: usize, s: u64| -> ExecutionStats {
             let pi = Permutation::random(inst.num_edges(), &mut StdRng::seed_from_u64(s));
             let sched = sharded_sim(shards, k, s ^ 2);
-            run_relaxed_batched(MatchingTasks::new(inst, &pi), &pi, sched, batch_size)
-                .1
-                .extra_iterations()
+            run_relaxed_batched(MatchingTasks::new(inst, &pi), &pi, sched, batch_size).1
         };
         let vals: Vec<f64> = ks.iter().map(|&k| run_avg(&f, k)).collect();
         let mut cells = vec!["matching".to_string(), inst.num_edges().to_string()];
@@ -151,12 +174,10 @@ fn main() {
     // Coloring
     {
         let g = &g;
-        let f = move |k: usize, s: u64| -> u64 {
+        let f = move |k: usize, s: u64| -> ExecutionStats {
             let pi = Permutation::random(g.num_vertices(), &mut StdRng::seed_from_u64(s));
             let sched = sharded_sim(shards, k, s ^ 3);
-            run_relaxed_batched(ColoringTasks::new(g, &pi), &pi, sched, batch_size)
-                .1
-                .extra_iterations()
+            run_relaxed_batched(ColoringTasks::new(g, &pi), &pi, sched, batch_size).1
         };
         let vals: Vec<f64> = ks.iter().map(|&k| run_avg(&f, k)).collect();
         let mut cells = vec!["coloring".to_string(), n.to_string()];
@@ -168,13 +189,11 @@ fn main() {
     }
     // Knuth shuffle
     {
-        let f = move |k: usize, s: u64| -> u64 {
+        let f = move |k: usize, s: u64| -> ExecutionStats {
             let targets = random_targets(n, &mut StdRng::seed_from_u64(s));
             let pi = shuffle_priorities(n);
             let sched = sharded_sim(shards, k, s ^ 4);
-            run_relaxed_batched(ShuffleTasks::new(targets), &pi, sched, batch_size)
-                .1
-                .extra_iterations()
+            run_relaxed_batched(ShuffleTasks::new(targets), &pi, sched, batch_size).1
         };
         let vals: Vec<f64> = ks.iter().map(|&k| run_avg(&f, k)).collect();
         let mut cells = vec!["knuth-shuffle".to_string(), n.to_string()];
@@ -186,14 +205,12 @@ fn main() {
     }
     // List contraction
     {
-        let f = move |k: usize, s: u64| -> u64 {
+        let f = move |k: usize, s: u64| -> ExecutionStats {
             let mut rng = StdRng::seed_from_u64(s);
             let list = ListInstance::new_shuffled(n, &mut rng);
             let pi = Permutation::random(n, &mut rng);
             let sched = sharded_sim(shards, k, s ^ 5);
-            run_relaxed_batched(ContractionTasks::new(&list, &pi), &pi, sched, batch_size)
-                .1
-                .extra_iterations()
+            run_relaxed_batched(ContractionTasks::new(&list, &pi), &pi, sched, batch_size).1
         };
         let vals: Vec<f64> = ks.iter().map(|&k| run_avg(&f, k)).collect();
         let mut cells = vec!["list-contraction".to_string(), n.to_string()];
@@ -209,6 +226,22 @@ fn main() {
     println!("MIS and matching waste the least — dead-marking (Theorem 2) beats even the");
     println!("sparse-Theorem-1 workloads (shuffle, contraction), whose fixed/chain-structured");
     println!("priorities carry larger constants.");
+
+    if rsched_obs::ENABLED {
+        // The same counters a live `--metrics` snapshot reads mid-run must
+        // land exactly on the framework's end-of-run totals.
+        let snap = rsched_obs::snapshot();
+        let d = |name: &str| snap.counter_delta(&obs_base, name);
+        let t = ledger.borrow();
+        assert_eq!(d(r#"seq_pop_total{outcome="success"}"#), t.processed);
+        assert_eq!(d(r#"seq_pop_total{outcome="blocked"}"#), t.wasted);
+        assert_eq!(d(r#"seq_pop_total{outcome="obsolete"}"#), t.obsolete);
+        println!(
+            "\nobs: seq_pop_total counters reconcile with framework totals \
+             ({} processed, {} wasted, {} obsolete)",
+            t.processed, t.wasted, t.obsolete
+        );
+    }
 
     if let Some(path) = args.get_str("json") {
         use rsched_bench::report::{update_report, Json};
@@ -226,7 +259,11 @@ fn main() {
                 Json::Arr(vals.iter().map(|&v| Json::Num(v)).collect()),
             ));
         }
+        if let Some(metrics) = rsched_bench::obs::metrics_json(&obs_base) {
+            fields.push(("metrics".to_string(), metrics));
+        }
         update_report(std::path::Path::new(path), "workloads", &Json::Obj(fields));
         println!("json averages merged into {path}");
     }
+    rsched_bench::obs::emit(&args);
 }

@@ -418,6 +418,93 @@ pub mod report {
     }
 }
 
+/// Shared observability plumbing for the experiment binaries: the `--trace
+/// <path>` / `--metrics [path]` flags, and the metrics→JSON merge that puts
+/// counter deltas in the bench report next to the medians.
+///
+/// Everything here degrades gracefully when the workspace is built without
+/// `--features obs`: the snapshot is empty and the trace JSON is the empty
+/// string, so the flags print a one-line note instead of empty artifacts —
+/// and when neither flag is passed, nothing is printed at all (default
+/// output stays byte-identical).
+pub mod obs {
+    use crate::{report::Json, Args};
+    use rsched_obs::Snapshot;
+
+    /// Help rows for the shared flags; append to each binary's option list.
+    pub const OPTIONS: [(&str, &str); 2] = [
+        ("--trace PATH", "write a chrome://tracing JSON of the run to PATH (build with --features obs)"),
+        ("--metrics [PATH]", "print (or write to PATH) a Prometheus-style metrics snapshot (build with --features obs)"),
+    ];
+
+    /// Handles `--trace`/`--metrics` at the end of a run. Call last, after
+    /// all instrumented work (the trace flush is tear-free only once worker
+    /// threads have joined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested output file cannot be written.
+    pub fn emit(args: &Args) {
+        if let Some(path) = args.get_str("trace") {
+            let json = rsched_obs::chrome_trace_json();
+            if json.is_empty() {
+                eprintln!(
+                    "note: --trace ignored — observability is compiled out \
+                     (rebuild with --features obs)"
+                );
+            } else {
+                std::fs::write(path, json)
+                    .unwrap_or_else(|e| panic!("cannot write trace {path}: {e}"));
+                eprintln!("trace: wrote chrome://tracing JSON to {path}");
+            }
+        }
+        if args.has_flag("metrics") {
+            let snap = rsched_obs::snapshot();
+            if snap.is_empty() {
+                eprintln!(
+                    "note: --metrics ignored — observability is compiled out \
+                     (rebuild with --features obs)"
+                );
+            } else {
+                match args.get_str("metrics") {
+                    Some(path) => std::fs::write(path, snap.text())
+                        .unwrap_or_else(|e| panic!("cannot write metrics {path}: {e}")),
+                    None => print!("{}", snap.text()),
+                }
+            }
+        }
+    }
+
+    /// The run's metrics (counter deltas against `base`, gauge levels, and
+    /// histogram summaries) as a JSON object for the bench-report merge.
+    /// Returns `None` when observability is compiled out, so report entries
+    /// never grow an empty `"metrics"` field.
+    pub fn metrics_json(base: &Snapshot) -> Option<Json> {
+        let end = rsched_obs::snapshot();
+        if end.is_empty() {
+            return None;
+        }
+        let mut fields: Vec<(String, Json)> = end
+            .counters
+            .iter()
+            .map(|(name, _)| (name.clone(), Json::Int(end.counter_delta(base, name))))
+            .collect();
+        fields.extend(
+            end.gauges.iter().map(|(name, v)| (name.clone(), Json::Int((*v).max(0) as u64))),
+        );
+        fields.extend(end.hists.iter().map(|(name, h)| {
+            let summary = Json::obj([
+                ("count", Json::Int(h.count)),
+                ("p50", Json::Int(h.p50)),
+                ("p95", Json::Int(h.p95)),
+                ("p99", Json::Int(h.p99)),
+            ]);
+            (name.clone(), summary)
+        }));
+        Some(Json::Obj(fields))
+    }
+}
+
 /// Sorts a copy of `samples` and returns the `(p50, p95, p99)` percentiles
 /// (nearest-rank on the sorted order; zero for an empty slice).
 pub fn percentiles(samples: &[f64]) -> (f64, f64, f64) {

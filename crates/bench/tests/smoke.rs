@@ -30,10 +30,11 @@ fn every_binary_answers_help() {
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains("Usage:"), "{name} --help printed no usage:\n{stdout}");
         assert!(stdout.contains("--help"), "{name} --help does not list --help:\n{stdout}");
-        // --help must not run the experiment: usage output is short,
-        // experiment output (tables, sweeps) is not.
+        // --help must not run the experiment: usage output is short
+        // (the longest option list is ~25 rows), experiment output
+        // (tables, sweeps) is hundreds of lines.
         assert!(
-            stdout.lines().count() < 25,
+            stdout.lines().count() < 32,
             "{name} --help looks like it ran the workload ({} lines)",
             stdout.lines().count()
         );

@@ -262,27 +262,42 @@ where
         let got = strategy.pop_run(sched, hint, &mut run);
         if got == 0 {
             c.empty += 1;
+            rsched_obs::counter!(r#"engine_pop_total{outcome="empty"}"#).inc();
             backoff.snooze();
             continue;
         }
         backoff.reset();
+        let _run_span = rsched_obs::span!("engine_run");
+        rsched_obs::hist!("engine_run_batch_size").record(got as u64);
         let mut blocked_in_run = 0usize;
         for &(priority, v) in &run {
             c.pops += 1;
-            match driver.dispatch(priority, v) {
-                TaskOutcome::Processed => c.processed += 1,
+            let t0 = rsched_obs::now_ns();
+            let outcome = driver.dispatch(priority, v);
+            rsched_obs::hist!("engine_task_service_ns")
+                .record(rsched_obs::now_ns().saturating_sub(t0));
+            match outcome {
+                TaskOutcome::Processed => {
+                    c.processed += 1;
+                    rsched_obs::counter!(r#"engine_pop_total{outcome="success"}"#).inc();
+                }
                 TaskOutcome::Blocked => {
                     c.wasted += 1;
                     blocked_in_run += 1;
+                    rsched_obs::counter!(r#"engine_pop_total{outcome="blocked"}"#).inc();
                     strategy.give_back(sched, priority, v);
                 }
-                TaskOutcome::Obsolete => c.obsolete += 1,
+                TaskOutcome::Obsolete => {
+                    c.obsolete += 1;
+                    rsched_obs::counter!(r#"engine_pop_total{outcome="obsolete"}"#).inc();
+                }
             }
         }
         strategy.flush(sched);
         driver.after_run(got - blocked_in_run);
         if blocked_in_run == got {
             hint = hint.wrapping_add(1);
+            rsched_obs::counter!("engine_affinity_drift_total").inc();
         }
     }
     c

@@ -68,12 +68,17 @@ where
             TaskState::Ready => {
                 alg.execute(v);
                 stats.processed += 1;
+                rsched_obs::counter!(r#"seq_pop_total{outcome="success"}"#).inc();
             }
             TaskState::Blocked => {
                 stats.wasted += 1;
+                rsched_obs::counter!(r#"seq_pop_total{outcome="blocked"}"#).inc();
                 sched.insert(priority, v); // failed delete; re-insert
             }
-            TaskState::Obsolete => stats.obsolete += 1,
+            TaskState::Obsolete => {
+                stats.obsolete += 1;
+                rsched_obs::counter!(r#"seq_pop_total{outcome="obsolete"}"#).inc();
+            }
         }
     }
     (alg.into_output(), stats)
@@ -133,12 +138,17 @@ where
                 TaskState::Ready => {
                     alg.execute(v);
                     stats.processed += 1;
+                    rsched_obs::counter!(r#"seq_pop_total{outcome="success"}"#).inc();
                 }
                 TaskState::Blocked => {
                     stats.wasted += 1;
+                    rsched_obs::counter!(r#"seq_pop_total{outcome="blocked"}"#).inc();
                     blocked.push((priority, v));
                 }
-                TaskState::Obsolete => stats.obsolete += 1,
+                TaskState::Obsolete => {
+                    stats.obsolete += 1;
+                    rsched_obs::counter!(r#"seq_pop_total{outcome="obsolete"}"#).inc();
+                }
             }
         }
         if !blocked.is_empty() {

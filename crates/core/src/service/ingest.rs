@@ -53,7 +53,10 @@ impl Ledger {
 
     /// Marks the producer side closed for good (idempotent, sticky).
     pub(crate) fn seal(&self) {
-        self.sealed.store(true, Ordering::SeqCst);
+        if !self.sealed.swap(true, Ordering::SeqCst) {
+            // Seal-wave timeline: the ledger seals once, after every queue.
+            rsched_obs::instant!("ledger_seal");
+        }
     }
 
     pub(crate) fn accepted(&self) -> u64 {
@@ -124,6 +127,9 @@ pub(crate) struct IngestQueue {
     /// producers blocked on a full queue wait on.
     space: Condvar,
     capacity: usize,
+    /// Live buffered-entry gauge (`service_ingest_depth{queue="i"}`); a ZST
+    /// unless the `obs` feature is on.
+    depth: rsched_obs::Gauge,
 }
 
 impl fmt::Debug for QueueInner {
@@ -138,13 +144,20 @@ impl fmt::Debug for QueueInner {
 
 impl IngestQueue {
     /// A queue with room for `capacity` buffered entries, expecting
-    /// `producers` handles (zero producers seals it immediately).
+    /// `producers` handles (zero producers seals it immediately). `index`
+    /// names the queue's depth gauge in the metrics registry.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
-    pub(crate) fn new(capacity: usize, producers: usize) -> Self {
+    pub(crate) fn new(capacity: usize, producers: usize, index: usize) -> Self {
         assert!(capacity >= 1, "need a positive ingestion capacity");
+        // `ENABLED` is const, so the name `format!` folds away by default.
+        let depth = if rsched_obs::ENABLED {
+            rsched_obs::gauge(&format!(r#"service_ingest_depth{{queue="{index}"}}"#))
+        } else {
+            rsched_obs::gauge("")
+        };
         IngestQueue {
             inner: Mutex::new(QueueInner {
                 entries: VecDeque::new(),
@@ -154,6 +167,7 @@ impl IngestQueue {
             }),
             space: Condvar::new(),
             capacity,
+            depth,
         }
     }
 
@@ -178,6 +192,7 @@ impl IngestQueue {
         }
         inner.entries.push_back((priority, task));
         ledger.accept();
+        self.depth.add(1);
         let waker = inner.pump.take();
         drop(inner);
         if let Some(w) = waker {
@@ -208,6 +223,7 @@ impl IngestQueue {
         let n = inner.entries.len().min(max);
         out.extend(inner.entries.drain(..n));
         drop(inner);
+        self.depth.sub(n as i64);
         // Room just opened up: release producers blocked on capacity.
         self.space.notify_all();
         TakeStatus::Took
@@ -217,6 +233,10 @@ impl IngestQueue {
     /// wakes the pump so it can run its drain to completion.
     pub(crate) fn seal(&self) {
         let mut inner = self.inner.lock().unwrap();
+        if !inner.sealed {
+            rsched_obs::instant!("queue_seal");
+            rsched_obs::counter!("service_queue_seal_total").inc();
+        }
         inner.sealed = true;
         let waker = inner.pump.take();
         drop(inner);
@@ -234,6 +254,8 @@ impl IngestQueue {
             inner.open_producers -= 1;
             if inner.open_producers == 0 && !inner.sealed {
                 inner.sealed = true;
+                rsched_obs::instant!("queue_seal");
+                rsched_obs::counter!("service_queue_seal_total").inc();
                 true
             } else {
                 false
@@ -279,7 +301,7 @@ mod tests {
     #[test]
     fn push_take_roundtrip_preserves_fifo() {
         let ledger = Ledger::new();
-        let q = IngestQueue::new(8, 1);
+        let q = IngestQueue::new(8, 1, 0);
         for i in 0..5u32 {
             q.push(i as u64, i, &ledger).unwrap();
         }
@@ -293,7 +315,7 @@ mod tests {
     #[test]
     fn sealed_queue_rejects_push_without_accepting() {
         let ledger = Ledger::new();
-        let q = IngestQueue::new(4, 1);
+        let q = IngestQueue::new(4, 1, 0);
         q.seal();
         assert_eq!(q.push(1, 1, &ledger), Err(PushError::Sealed));
         assert_eq!(ledger.accepted(), 0, "rejected push must not count");
@@ -302,7 +324,7 @@ mod tests {
     #[test]
     fn empty_open_queue_registers_waker_and_push_wakes() {
         let ledger = Ledger::new();
-        let q = IngestQueue::new(4, 1);
+        let q = IngestQueue::new(4, 1, 0);
         let (waker, flag) = flag_waker();
         let mut out = Vec::new();
         assert!(matches!(q.take_batch(&mut out, 4, &waker), TakeStatus::Pending));
@@ -313,7 +335,7 @@ mod tests {
 
     #[test]
     fn last_producer_release_seals_and_wakes() {
-        let q = IngestQueue::new(4, 2);
+        let q = IngestQueue::new(4, 2, 0);
         let (waker, flag) = flag_waker();
         let mut out = Vec::new();
         assert!(matches!(q.take_batch(&mut out, 4, &waker), TakeStatus::Pending));
@@ -327,7 +349,7 @@ mod tests {
     #[test]
     fn full_queue_blocks_until_drained() {
         let ledger = Ledger::new();
-        let q = IngestQueue::new(2, 1);
+        let q = IngestQueue::new(2, 1, 0);
         q.push(0, 0, &ledger).unwrap();
         q.push(1, 1, &ledger).unwrap();
         std::thread::scope(|s| {

@@ -245,6 +245,8 @@ impl CapacityWaiters {
     /// re-check its stall condition *after* this returns and only then
     /// return `Pending`.
     pub fn register(&self, waker: &Waker) {
+        rsched_obs::counter!("service_pump_park_total").inc();
+        rsched_obs::instant!("pump_park");
         let mut ws = self.wakers.lock().unwrap();
         if !ws.iter().any(|w| w.will_wake(waker)) {
             ws.push(waker.clone());
@@ -266,6 +268,7 @@ impl CapacityWaiters {
             self.armed.store(false, capacity_armed_ordering());
             std::mem::take(&mut *ws)
         };
+        rsched_obs::counter!("service_pump_unpark_total").add(drained.len() as u64);
         for w in drained {
             w.wake();
         }
@@ -386,7 +389,11 @@ where
         per_queue[i % nqueues] += 1;
     }
     let core = ServiceCore {
-        queues: per_queue.iter().map(|&c| IngestQueue::new(config.queue_capacity, c)).collect(),
+        queues: per_queue
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| IngestQueue::new(config.queue_capacity, c, i))
+            .collect(),
         ledger: Ledger::new(),
         capacity: CapacityWaiters::default(),
         open_producers: AtomicUsize::new(producers.len()),
@@ -450,6 +457,7 @@ where
             config.batch_size,
         );
     });
+    rsched_obs::instant!("service_drained");
     let stats = ServiceStats {
         accepted: core.ledger.accepted(),
         decided: core.ledger.decided(),

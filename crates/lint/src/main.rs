@@ -18,9 +18,15 @@
 //! * `facade-atomics` — crates ported onto the `rsched_sync` façade
 //!   (`crates/queues/src` — including the `reclaim` backends, whose
 //!   version counters are exactly what the model checker must see —
-//!   `crates/core/src/service`, `shims/crossbeam/src`) must not name
-//!   `std::sync::atomic` / `core::sync::atomic` directly, otherwise the
-//!   model checker silently loses sight of those accesses.
+//!   `crates/core/src/service`, `shims/crossbeam/src`, and
+//!   `crates/obs/src`, whose probes sit on those same hot paths) must not
+//!   name `std::sync::atomic` / `core::sync::atomic` directly, otherwise
+//!   the model checker silently loses sight of those accesses.
+//! * `obs-cache-padded` — in `crates/obs/src`, a boxed slice of atomics
+//!   (`Box<[…Atomic…]>`) must be `CachePadded`: those slices are the
+//!   per-worker counter cells, and an unpadded cell array puts every
+//!   worker's hot increments on the same cache line — the false sharing
+//!   the striped design exists to avoid.
 //!
 //! Escape hatch: a `lint:allow(<rule>)` comment anywhere on the flagged
 //! line suppresses that rule for the line.
@@ -40,11 +46,16 @@ const SCAN_DIRS: &[&str] = &["crates", "shims", "src", "tests", "examples", "ben
 /// suites (`model_vbr.rs`) depend on every one of those accesses going
 /// through the façade; tests below pin that the nested paths stay scoped.
 const FACADE_PORTED: &[&str] =
-    &["crates/queues/src", "crates/core/src/service", "shims/crossbeam/src"];
+    &["crates/queues/src", "crates/core/src/service", "shims/crossbeam/src", "crates/obs/src"];
+
+/// File set where boxed atomic slices must be cache-padded (the metrics
+/// registry's per-worker counter cells).
+const OBS_PADDED_SCOPE: &str = "crates/obs/src";
 
 const RULE_UNSAFE: &str = "unsafe-comment";
 const RULE_FENCE: &str = "seqcst-fence";
 const RULE_FACADE: &str = "facade-atomics";
+const RULE_OBS_PADDED: &str = "obs-cache-padded";
 
 #[derive(Debug)]
 struct Violation {
@@ -218,6 +229,7 @@ fn allowed(line: &str, rule: &str) -> bool {
 fn lint_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
     let lines: Vec<&str> = text.lines().collect();
     let facade_scoped = FACADE_PORTED.iter().any(|p| rel.starts_with(p));
+    let obs_padded_scoped = rel.starts_with(OBS_PADDED_SCOPE);
 
     let mut in_block = false;
     let mut split: Vec<(String, String)> = Vec::with_capacity(lines.len());
@@ -276,6 +288,21 @@ fn lint_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
                 line: lineno,
                 rule: RULE_FACADE,
                 message: "façade-ported file must import atomics via `rsched_sync::atomic`".into(),
+            });
+        }
+
+        // Rule: obs-cache-padded
+        if obs_padded_scoped
+            && code.contains("Box<[")
+            && code.contains("Atomic")
+            && !code.contains("CachePadded")
+            && !allowed(raw, RULE_OBS_PADDED)
+        {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: lineno,
+                rule: RULE_OBS_PADDED,
+                message: "boxed atomic slice in the obs crate must be `CachePadded` (counter cells share cache lines otherwise)".into(),
             });
         }
     }
@@ -407,6 +434,45 @@ mod tests {
     fn facade_mention_in_comment_ok() {
         let src = "// swap back to std::sync::atomic once vendored\nuse rsched_sync::atomic::AtomicUsize;\n";
         assert!(run("crates/queues/src/lock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn facade_rule_covers_obs_crate() {
+        // Probe increments sit on the queue/engine hot paths; an atomic
+        // bypassing the façade there is invisible to the model checker.
+        let src = "use std::sync::atomic::AtomicU64;\n";
+        let v = run("crates/obs/src/metrics.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_FACADE);
+    }
+
+    #[test]
+    fn unpadded_atomic_cell_slice_flagged() {
+        let src = "struct Cells {\n    cells: Box<[AtomicU64]>,\n}\n";
+        let v = run("crates/obs/src/metrics.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_OBS_PADDED);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn cache_padded_cell_slice_ok() {
+        let src = "struct Cells {\n    cells: Box<[CachePadded<AtomicU64>]>,\n}\n";
+        assert!(run("crates/obs/src/metrics.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unpadded_cell_slice_outside_obs_ignored() {
+        let src = "struct Cells {\n    cells: Box<[AtomicU64]>,\n}\n";
+        assert!(run("crates/queues/src/lock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn obs_cache_padded_allow_escape_hatch() {
+        // The log-histogram bucket array opts out deliberately: 720
+        // buckets at one cache line each would cost ~90 KiB per histogram.
+        let src = "struct H {\n    buckets: Box<[AtomicU64]>, // lint:allow(obs-cache-padded) bucket array\n}\n";
+        assert!(run("crates/obs/src/hist.rs", src).is_empty());
     }
 
     #[test]

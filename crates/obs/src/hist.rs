@@ -1,0 +1,208 @@
+//! Log-bucketed atomic histogram.
+//!
+//! Buckets follow the HdrHistogram-style scheme: values below 16 get exact
+//! unit buckets; above that, each power-of-two decade is split into
+//! `2^SUB_BITS = 16` equal sub-buckets, so any recorded value lands in a
+//! bucket whose width is at most 1/16 of its lower bound. Quantile queries
+//! therefore carry a bounded *relative* error of `< 1/16` (≈ 6.25%) — tight
+//! enough to replace exact sorted-Vec percentiles in the bench reports
+//! (pinned by `crates/bench/tests/hist_percentiles.rs`).
+//!
+//! `record` is wait-free: one index computation (a couple of shifts off
+//! `leading_zeros`) plus two `Relaxed` `fetch_add`s. Reads (`count`, `sum`,
+//! `quantile`) are racy snapshots, which is fine for monitoring: totals are
+//! only compared against ledgers *after* the recording threads have joined.
+//!
+//! This type is compiled unconditionally — unlike the rest of the crate it
+//! is also a plain data-structure utility (bench percentile math) and must
+//! exist even when the `obs` feature is off.
+
+use rsched_sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Sub-bucket resolution: each power-of-two range is split 2^4 = 16 ways.
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS; // 16
+
+/// Values are clamped to `2^48 - 1` (~3.2 days in nanoseconds) — far above
+/// anything the probes record, so the top bucket is a pure safety net.
+const CLAMP_BITS: u32 = 48;
+
+/// Bucket count: 16 exact unit buckets for `v < 16`, then 16 sub-buckets
+/// for each of the `CLAMP_BITS - SUB_BITS = 44` power-of-two decades.
+pub const NBUCKETS: usize = SUB + (CLAMP_BITS - SUB_BITS) as usize * SUB; // 720
+
+/// A fixed-shape, lock-free, log-bucketed histogram of `u64` samples.
+pub struct LogHistogram {
+    // Buckets are read-mostly-cold and written at scattered indices; padding
+    // 720 cells would cost ~90 KiB per histogram for no measured gain, so
+    // this is the one sanctioned unpadded atomic array in the crate.
+    buckets: Box<[AtomicU64]>, // lint:allow(obs-cache-padded) 720 buckets; padding would cost ~90 KiB each
+    sum: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+/// The bucket index for `value` (after clamping).
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    let v = value.min((1u64 << CLAMP_BITS) - 1);
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    // `v >= 16`, so the most significant bit is at position >= SUB_BITS.
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    // Decade `msb` starts at index `SUB + (msb - SUB_BITS) * SUB`; within
+    // it, the sub-bucket is the SUB_BITS bits below the MSB. For the first
+    // decade (msb == SUB_BITS) this is continuous with the unit buckets:
+    // v == 16 maps to index 16.
+    (SUB as u32 + (msb - SUB_BITS) * SUB as u32 + ((v >> shift) as u32 & (SUB as u32 - 1))) as usize
+}
+
+/// The largest value mapping to bucket `idx` (inverse of [`bucket_index`]).
+#[inline]
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let decade = ((idx - SUB) / SUB) as u32;
+    let sub = ((idx - SUB) % SUB) as u64;
+    // Lower bound of the bucket plus (width - 1).
+    let lo = (SUB as u64 + sub) << decade;
+    lo + ((1u64 << decade) - 1)
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Wait-free; `Relaxed` — totals become reliable
+    /// once the recording threads are joined.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Relaxed)).sum()
+    }
+
+    /// Sum of all recorded samples (pre-clamp values contribute clamped).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Nearest-rank quantile: the upper bound of the bucket containing the
+    /// `ceil(q * count)`-th smallest sample (0 if empty). Overestimates the
+    /// exact sorted percentile by at most one bucket width (< 1/16 relative).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(idx);
+            }
+        }
+        bucket_upper(NBUCKETS - 1)
+    }
+
+    /// `(p50, p95, p99)` in one pass — the shape the bench tables print.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+    }
+}
+
+#[cfg(all(test, not(rsched_model)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_continuous_and_monotone() {
+        let mut prev = bucket_index(0);
+        assert_eq!(prev, 0);
+        for v in 1..100_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx == prev || idx == prev + 1, "gap at v={v}: {prev} -> {idx}");
+            prev = idx;
+        }
+        // Spot the unit/decade seam.
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+    }
+
+    #[test]
+    fn upper_is_inverse_of_index() {
+        for v in [0u64, 1, 15, 16, 17, 100, 1000, 123_456, u32::MAX as u64, 1 << 47] {
+            let idx = bucket_index(v);
+            let hi = bucket_upper(idx);
+            assert!(hi >= v, "upper({idx}) = {hi} < v = {v}");
+            assert_eq!(bucket_index(hi), idx, "upper bound left its own bucket (v={v})");
+            if hi + 1 < (1 << CLAMP_BITS) {
+                assert_eq!(bucket_index(hi + 1), idx + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_relative_error() {
+        let h = LogHistogram::new();
+        for v in [1u64, 100, 10_000, 1_000_000] {
+            h.record(v);
+            let q = h.quantile(1.0);
+            assert!(q >= v);
+            assert!((q - v) as f64 <= (v as f64 / 16.0).max(1.0), "v={v} q={q}");
+            // Drain by constructing fresh below (records accumulate).
+        }
+    }
+
+    #[test]
+    fn quantiles_match_exact_on_uniform() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        let (p50, p95, p99) = h.percentiles();
+        for (q, exact) in [(p50, 500u64), (p95, 950), (p99, 990)] {
+            assert!(q >= exact && (q - exact) as f64 <= exact as f64 / 16.0, "q={q} exact={exact}");
+        }
+    }
+
+    #[test]
+    fn clamp_and_empty() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) >= (1 << 47));
+    }
+}

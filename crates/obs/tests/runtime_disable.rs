@@ -1,0 +1,33 @@
+//! The runtime kill-switch, isolated in its own integration-test binary:
+//! `set_enabled(false)` is process-global, so flipping it next to the
+//! concurrent `obs_enabled` tests would race their assertions. Separate
+//! test binaries run as separate processes.
+
+use rsched_obs as obs;
+
+#[test]
+fn set_enabled_false_mutes_probes() {
+    const NAME: &str = "rd_counter_total";
+    let c = obs::counter(NAME);
+    c.inc();
+    assert_eq!(c.value(), 1);
+
+    obs::set_enabled(false);
+    assert!(!obs::enabled());
+    c.inc();
+    obs::gauge("rd_gauge").add(5);
+    obs::hist!("rd_hist").record(7);
+    assert_eq!(obs::now_ns(), 0, "timing probes return 0 while disabled");
+    {
+        let _span = obs::span!("rd_span");
+        obs::instant!("rd_instant");
+    }
+    assert_eq!(c.value(), 1, "counter must not move while disabled");
+    assert_eq!(obs::snapshot().gauge("rd_gauge"), 0);
+    let json = obs::chrome_trace_json();
+    assert!(!json.contains("rd_span") && !json.contains("rd_instant"), "{json}");
+
+    obs::set_enabled(true);
+    c.inc();
+    assert_eq!(c.value(), 2, "re-enabling resumes recording");
+}

@@ -202,6 +202,7 @@ unsafe impl Reclaim for Ebr {
     // SAFETY: contract inherited from the trait's `# Safety` section —
     // caller unlinked `node` and retires each node at most once.
     unsafe fn retire<T: Send>(_dom: &EbrDomain<T>, node: EbrPtr<T>, guard: &Guard) {
+        rsched_obs::counter!(r#"reclaim_retire_total{backend="ebr"}"#).inc();
         // SAFETY: caller contract — the calling thread's CAS unlinked
         // `node`, making this the unique defer; `MaybeUninit` means the box
         // free drops no payload.
@@ -212,6 +213,7 @@ unsafe impl Reclaim for Ebr {
     // caller holds exclusive access (structure teardown) and reports
     // payload ownership truthfully via `drop_payload`.
     unsafe fn dealloc_exclusive<T: Send>(_dom: &EbrDomain<T>, node: EbrPtr<T>, drop_payload: bool) {
+        rsched_obs::counter!(r#"reclaim_dealloc_total{backend="ebr"}"#).inc();
         // SAFETY: caller contract — exclusive access; this is the unique
         // free of the allocation.
         let mut owned = unsafe { node.to_shared().into_owned() };

@@ -256,7 +256,11 @@ fn validate<T>(slot: &Slot<T>, expected_ver: u64) -> bool {
         // slot version — stale reads from a recycled slot then validate.
         return true;
     }
-    slot.ver.load(Relaxed) & SVER_MASK == expected_ver & SVER_MASK
+    let ok = slot.ver.load(Relaxed) & SVER_MASK == expected_ver & SVER_MASK;
+    if !ok {
+        rsched_obs::counter!(r#"reclaim_recheck_fail_total{backend="vbr"}"#).inc();
+    }
+    ok
 }
 
 // SAFETY: the version protocol provides the trait's contract — validated
@@ -397,6 +401,7 @@ unsafe impl Reclaim for Vbr {
     // SAFETY: contract inherited from the trait's `# Safety` section —
     // caller unlinked `node` and retires each lifetime at most once.
     unsafe fn retire<T: Send>(dom: &VbrDomain<T>, node: VbrPtr<T>, _guard: &VbrGuard) {
+        rsched_obs::counter!(r#"reclaim_retire_total{backend="vbr"}"#).inc();
         let idx = node.idx();
         let slot = dom.slot(idx);
         let ver = slot.ver.load(Relaxed);
@@ -420,6 +425,7 @@ unsafe impl Reclaim for Vbr {
     // caller holds exclusive access (structure teardown) and reports
     // payload ownership truthfully via `drop_payload`.
     unsafe fn dealloc_exclusive<T: Send>(dom: &VbrDomain<T>, node: VbrPtr<T>, drop_payload: bool) {
+        rsched_obs::counter!(r#"reclaim_dealloc_total{backend="vbr"}"#).inc();
         let slot = dom.slot(node.idx());
         if drop_payload {
             // SAFETY: caller contract — exclusive access and the payload

@@ -84,6 +84,23 @@ pub struct ShardedScheduler<S> {
     /// `Vec<S>` passed to [`ShardedScheduler::new`]) are invisible to it —
     /// [`ShardedScheduler::prefilled_with`] seeds the counters itself.
     loads: Box<[CachePadded<AtomicIsize>]>,
+    /// Observability mirror of `loads`: one registered occupancy gauge per
+    /// shard (`sharded_shard_load{shard="i"}`). ZSTs when the `obs` feature
+    /// is off. Gauges are global per name, so concurrently live
+    /// `ShardedScheduler`s with equal shard indices share cells — the
+    /// exported level is then the *sum* across instances.
+    obs_loads: Box<[rsched_obs::Gauge]>,
+}
+
+/// The registered occupancy gauge for `shard`. The name is only built when
+/// probes are compiled in (`ENABLED` is `const`, so the `format!` folds
+/// away entirely in default builds).
+fn shard_load_gauge(shard: usize) -> rsched_obs::Gauge {
+    if rsched_obs::ENABLED {
+        rsched_obs::gauge(&format!(r#"sharded_shard_load{{shard="{shard}"}}"#))
+    } else {
+        rsched_obs::gauge("")
+    }
 }
 
 impl<S> ShardedScheduler<S> {
@@ -95,7 +112,8 @@ impl<S> ShardedScheduler<S> {
     pub fn new(inners: Vec<S>) -> Self {
         assert!(!inners.is_empty(), "need at least one shard");
         let loads = (0..inners.len()).map(|_| CachePadded::new(AtomicIsize::new(0))).collect();
-        ShardedScheduler { shards: inners.into_boxed_slice(), cursor: 0, loads }
+        let obs_loads = (0..inners.len()).map(shard_load_gauge).collect();
+        ShardedScheduler { shards: inners.into_boxed_slice(), cursor: 0, loads, obs_loads }
     }
 
     /// Builds `shards` inner schedulers with `make(shard_index)`.
@@ -153,6 +171,7 @@ impl<S> ShardedScheduler<S> {
         // `insert`, so they would otherwise be invisible to `SchedulerLoad`.
         for (shard, &n) in sizes.iter().enumerate() {
             q.loads[shard].store(n as isize, Ordering::Relaxed);
+            q.obs_loads[shard].add(n as i64);
         }
         q
     }
@@ -181,11 +200,13 @@ impl<S> ShardedScheduler<S> {
     #[inline]
     fn note_inserted(&self, shard: usize, n: usize) {
         self.loads[shard].fetch_add(n as isize, Ordering::Relaxed);
+        self.obs_loads[shard].add(n as i64);
     }
 
     #[inline]
     fn note_popped(&self, shard: usize, n: usize) {
         self.loads[shard].fetch_sub(n as isize, Ordering::Relaxed);
+        self.obs_loads[shard].sub(n as i64);
     }
 }
 
@@ -304,9 +325,20 @@ where
 #[inline]
 fn start_shard(worker: usize, shards: usize) -> usize {
     if rng::next_index(STEAL_PERIOD) == 0 {
+        rsched_obs::counter!("sharded_fairness_probe_total").inc();
         rng::next_index(shards)
     } else {
         worker % shards
+    }
+}
+
+/// Observability: a pop served by a shard other than the worker's affinity
+/// shard is a *steal* (whether via the fairness probe's random start or the
+/// round-robin fallback past an empty own shard).
+#[inline]
+fn note_steal(worker: usize, served: usize, shards: usize) {
+    if served != worker % shards {
+        rsched_obs::counter!("sharded_steal_total").inc();
     }
 }
 
@@ -382,6 +414,7 @@ where
         let start = if s == 1 { 0 } else { start_shard(worker, s) };
         let (shard, e) = pop_from(&self.shards, start)?;
         self.note_popped(shard, 1);
+        note_steal(worker, shard, s);
         Some(e)
     }
 
@@ -428,6 +461,7 @@ where
         let (shard, got) = pop_batch_from(&self.shards, start, out, max);
         if got > 0 {
             self.note_popped(shard, got);
+            note_steal(worker, shard, s);
         }
         got
     }

@@ -42,9 +42,12 @@
 //! assert!(stats.wasted <= 64, "wasted = {} exceeds calibrated bound", stats.wasted);
 //! ```
 //!
-//! See [`graph`], [`queues`] and [`core`] for the three layers, and the
-//! `examples/` directory for runnable end-to-end programs.
+//! See [`graph`], [`queues`] and [`core`] for the three layers, [`obs`]
+//! for the runtime observability layer (compiled to no-ops unless the
+//! `obs` feature is on), and the `examples/` directory for runnable
+//! end-to-end programs.
 
 pub use rsched_core as core;
 pub use rsched_graph as graph;
+pub use rsched_obs as obs;
 pub use rsched_queues as queues;
